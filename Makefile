@@ -1,0 +1,26 @@
+# Developer conveniences.  `make install` prefers a real editable install
+# and falls back to a .pth path link when the environment lacks `wheel`
+# (e.g. offline images).
+
+PYTHON ?= python
+
+.PHONY: install test bench examples clean
+
+install:
+	@$(PYTHON) -m pip install -e . 2>/dev/null || ( \
+		echo "pip editable install unavailable; linking via .pth"; \
+		echo "$(CURDIR)/src" > "$$($(PYTHON) -c 'import site; print(site.getsitepackages()[0])')/repro-dev.pth" )
+	@$(PYTHON) -c "import repro; print('repro', repro.__version__, 'ready')"
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for ex in examples/*.py; do echo "== $$ex =="; $(PYTHON) $$ex || exit 1; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,71 @@
+"""Ablation: discovery-scan period versus channel setup delay.
+
+The Dom0 discovery module scans XenStore every 5 seconds (paper
+Sect. 3.2).  A longer period costs nothing on the data path but delays
+how soon newly co-resident guests can switch to the channel -- the
+window during which traffic still crawls through netfront.  This bench
+measures time-from-first-traffic to channel-connected as a function of
+the scan period.
+"""
+
+from repro import report, scenarios
+from repro.core.channel import ChannelState
+
+from _bench_utils import emit
+
+PERIODS = [0.5, 1.0, 2.0, 5.0, 10.0]
+
+
+def _setup_delay(period: float) -> float:
+    costs = scenarios.DEFAULT_COSTS.replace(
+        discovery_period=period, bootstrap_timeout=0.02
+    )
+    scn = scenarios.xenloop(costs)
+    sim = scn.sim
+    t0 = sim.now
+
+    def connected():
+        return all(
+            any(ch.state is ChannelState.CONNECTED for ch in m.channels.values())
+            for m in scn.modules.values()
+        )
+
+    # Steady trickle of traffic from t0 (first traffic = t0); measure
+    # until the channel carries it.
+    def pinger():
+        stack = scn.node_a.stack
+        seq = 0
+        while not connected():
+            ident = stack.icmp.alloc_ident()
+            waiter = yield from stack.icmp.send_echo(scn.ip_b, ident, seq)
+            yield sim.any_of([waiter, sim.timeout(0.05)])
+            yield sim.timeout(0.05)
+            seq += 1
+
+    proc = sim.process(pinger())
+    sim.run_until_complete(proc, timeout=20 * period + 30)
+    return sim.now - t0
+
+
+def _measure():
+    return [_setup_delay(p) for p in PERIODS]
+
+
+def test_ablation_discovery_period(run_once, benchmark):
+    delays = run_once(_measure)
+    emit(
+        "ablation_discovery",
+        report.format_series(
+            "Ablation: channel setup delay (s) vs discovery period (s)",
+            "period_s",
+            PERIODS,
+            {"setup_delay_s": delays},
+            precision=2,
+        ),
+    )
+    benchmark.extra_info["delays"] = dict(zip(PERIODS, (round(d, 2) for d in delays)))
+    # Setup delay is bounded by roughly one scan period plus bootstrap.
+    for period, delay in zip(PERIODS, delays):
+        assert delay < 2 * period + 1.0
+    # And grows with the period overall.
+    assert delays[-1] > delays[0]

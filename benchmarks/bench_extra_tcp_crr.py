@@ -1,0 +1,38 @@
+"""Extra (not in the paper): netperf TCP_CRR across the four scenarios.
+
+Connect + request + response + close per transaction.  Interesting for
+XenLoop because every handshake segment crosses the channel too: the
+speedup on connection-heavy workloads (short-lived HTTP-style
+connections, the paper's web-service motivation) matches the RR
+speedup, which a socket-level solution that pays per-connection setup
+(e.g. XenSockets' explicit connections) would not get for free.
+"""
+
+from repro import report
+from repro.workloads import netperf
+
+from _bench_utils import SCENARIO_ORDER, build_warm, emit
+
+
+def _measure():
+    row = {}
+    for name in SCENARIO_ORDER:
+        scn = build_warm(name)
+        row[name] = netperf.tcp_crr(scn, duration=0.1).trans_per_sec
+    return row
+
+
+def test_extra_tcp_crr(run_once, benchmark):
+    row = run_once(_measure)
+    emit(
+        "extra_tcp_crr",
+        report.format_table(
+            "Extra: netperf TCP_CRR (connections/sec; not in the paper)",
+            SCENARIO_ORDER,
+            [("TCP_CRR (conn/s)", row)],
+            precision=0,
+        ),
+    )
+    benchmark.extra_info["crr"] = {k: round(v) for k, v in row.items()}
+    assert row["xenloop"] > 2 * row["netfront_netback"]
+    assert row["native_loopback"] > row["xenloop"]

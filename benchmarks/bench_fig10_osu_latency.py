@@ -1,0 +1,41 @@
+"""Figure 10: OSU MPI one-way latency versus message size."""
+
+from repro import report
+from repro.workloads import osu
+
+from _bench_utils import SCENARIO_ORDER, build_warm, emit
+
+SIZES = [1, 64, 512, 2048, 8192, 16384, 65536]
+
+
+def _measure():
+    series = {}
+    for name in SCENARIO_ORDER:
+        scn = build_warm(name)
+        _s, values = osu.osu_latency(scn, sizes=SIZES).series()
+        series[name] = values
+    return series
+
+
+def test_fig10_osu_latency(run_once, benchmark):
+    series = run_once(_measure)
+    emit(
+        "fig10_osu_latency",
+        report.format_series(
+            "Fig. 10: OSU one-way latency (us) vs message size (B)",
+            "msg_size",
+            SIZES,
+            series,
+            precision=1,
+        ),
+    )
+    benchmark.extra_info["series"] = {
+        k: [round(v, 1) for v in vs] for k, vs in series.items()
+    }
+    # Shape: XenLoop latency below netfront and inter-machine at every
+    # size, and latency grows with message size everywhere.
+    for i in range(len(SIZES)):
+        assert series["xenloop"][i] < series["netfront_netback"][i]
+        assert series["xenloop"][i] < series["inter_machine"][i]
+    for name in SCENARIO_ORDER:
+        assert series[name][-1] > series[name][0]

@@ -1,0 +1,52 @@
+"""Figure 4: netperf UDP_STREAM throughput versus message size.
+
+The paper's observations this regenerates:
+
+* throughput grows with message size in all four scenarios (fewer
+  user/kernel crossings per byte);
+* XenLoop overtakes both netfront and inter-machine beyond ~1 KB;
+* for sub-1 KB messages native inter-machine is competitive because
+  domain switching and split-driver overheads dominate small packets.
+"""
+
+from repro import report
+from repro.workloads import netperf
+
+from _bench_utils import SCENARIO_ORDER, build_warm, emit
+
+SIZES = [64, 256, 1024, 4096, 8192, 16384, 32768]
+
+
+def _measure():
+    series = {name: [] for name in SCENARIO_ORDER}
+    for name in SCENARIO_ORDER:
+        scn = build_warm(name)
+        for i, size in enumerate(SIZES):
+            res = netperf.udp_stream(scn, duration=0.02, msg_size=size, port=5600 + i)
+            series[name].append(res.mbps)
+    return series
+
+
+def test_fig4_udp_stream_vs_message_size(run_once, benchmark):
+    series = run_once(_measure)
+    emit(
+        "fig4_udp_msgsize",
+        report.format_series(
+            "Fig. 4: UDP_STREAM throughput (Mbit/s) vs message size (B)",
+            "msg_size",
+            SIZES,
+            series,
+            precision=0,
+        ),
+    )
+    benchmark.extra_info["series"] = {k: [round(v) for v in vs] for k, vs in series.items()}
+    # Shape: throughput grows with message size for XenLoop...
+    xl = series["xenloop"]
+    assert xl[-1] > xl[0]
+    # ...and XenLoop wins beyond 1 KB (paper: "for packets larger than
+    # 1KB, XenLoop achieves higher bandwidth than both netfront-netback
+    # and native inter-machine communication").
+    for i, size in enumerate(SIZES):
+        if size > 1024:
+            assert xl[i] > series["netfront_netback"][i]
+            assert xl[i] > series["inter_machine"][i]

@@ -1,0 +1,59 @@
+"""Figures 6-7: NetPIPE-MPICH throughput and latency versus message size.
+
+Fig. 6: one-way bandwidth; Fig. 7: one-way latency; both over the
+mini-MPI library on simulated TCP, in all four scenarios.
+"""
+
+from repro import report
+from repro.workloads import netpipe
+
+from _bench_utils import SCENARIO_ORDER, build_warm, emit
+
+SIZES = [16, 256, 1024, 4096, 16384, 65536]
+
+
+def _measure():
+    bw = {name: [] for name in SCENARIO_ORDER}
+    lat = {name: [] for name in SCENARIO_ORDER}
+    for name in SCENARIO_ORDER:
+        scn = build_warm(name)
+        res = netpipe.run(scn, sizes=SIZES)
+        _sizes, mbps, lats = res.series()
+        bw[name] = mbps
+        lat[name] = lats
+    return bw, lat
+
+
+def test_fig6_7_netpipe(run_once, benchmark):
+    bw, lat = run_once(_measure)
+    emit(
+        "fig6_netpipe_bw",
+        report.format_series(
+            "Fig. 6: NetPIPE-MPICH throughput (Mbit/s) vs message size (B)",
+            "msg_size",
+            SIZES,
+            bw,
+            precision=0,
+        ),
+    )
+    emit(
+        "fig7_netpipe_latency",
+        report.format_series(
+            "Fig. 7: NetPIPE-MPICH one-way latency (us) vs message size (B)",
+            "msg_size",
+            SIZES,
+            lat,
+            precision=1,
+        ),
+    )
+    benchmark.extra_info["bw"] = {k: [round(v) for v in vs] for k, vs in bw.items()}
+    # Shape (paper Sect. 4.3): XenLoop significantly better than
+    # netfront, which closely tracks inter-machine; XenLoop latency
+    # tracks native loopback.
+    for i in range(len(SIZES)):
+        assert bw["xenloop"][i] > bw["netfront_netback"][i]
+        assert lat["xenloop"][i] < lat["netfront_netback"][i]
+    # netfront "closely tracks the native inter-machine performance"
+    mid = len(SIZES) // 2
+    ratio = bw["netfront_netback"][mid] / bw["inter_machine"][mid]
+    assert 0.5 < ratio < 3.0

@@ -1,0 +1,42 @@
+"""Figure 8: OSU MPI uni-directional bandwidth versus message size.
+
+Paper observation: XenLoop does much better than inter-machine and
+netfront when messages are smaller than ~8192 B; large messages fill
+the FIFO quickly and subsequent messages wait for the receiver.
+"""
+
+from repro import report
+from repro.workloads import osu
+
+from _bench_utils import SCENARIO_ORDER, build_warm, emit
+
+SIZES = [64, 512, 2048, 8192, 16384, 65536]
+
+
+def _measure():
+    series = {}
+    for name in SCENARIO_ORDER:
+        scn = build_warm(name)
+        _s, values = osu.osu_bw(scn, sizes=SIZES).series()
+        series[name] = values
+    return series
+
+
+def test_fig8_osu_unidirectional_bw(run_once, benchmark):
+    series = run_once(_measure)
+    emit(
+        "fig8_osu_bw",
+        report.format_series(
+            "Fig. 8: OSU uni-directional bandwidth (Mbit/s) vs message size (B)",
+            "msg_size",
+            SIZES,
+            series,
+            precision=0,
+        ),
+    )
+    benchmark.extra_info["series"] = {k: [round(v) for v in vs] for k, vs in series.items()}
+    # Shape: below 8 KB XenLoop beats netfront and inter-machine clearly.
+    for i, size in enumerate(SIZES):
+        if size <= 8192:
+            assert series["xenloop"][i] > series["netfront_netback"][i]
+            assert series["xenloop"][i] > series["inter_machine"][i]

@@ -1,0 +1,38 @@
+"""Figure 9: OSU MPI bi-directional bandwidth versus message size."""
+
+from repro import report
+from repro.workloads import osu
+
+from _bench_utils import SCENARIO_ORDER, build_warm, emit
+
+SIZES = [64, 512, 2048, 8192, 16384, 65536]
+
+
+def _measure():
+    series = {}
+    for name in SCENARIO_ORDER:
+        scn = build_warm(name)
+        _s, values = osu.osu_bibw(scn, sizes=SIZES).series()
+        series[name] = values
+    return series
+
+
+def test_fig9_osu_bidirectional_bw(run_once, benchmark):
+    series = run_once(_measure)
+    emit(
+        "fig9_osu_bibw",
+        report.format_series(
+            "Fig. 9: OSU bi-directional bandwidth (Mbit/s) vs message size (B)",
+            "msg_size",
+            SIZES,
+            series,
+            precision=0,
+        ),
+    )
+    benchmark.extra_info["series"] = {k: [round(v) for v in vs] for k, vs in series.items()}
+    for i, size in enumerate(SIZES):
+        if size <= 8192:
+            assert series["xenloop"][i] > series["netfront_netback"][i]
+    # Bi-directional traffic exceeds uni-directional capacity usage: the
+    # xenloop numbers at small sizes beat the wire in both directions.
+    assert max(series["xenloop"]) > max(series["inter_machine"])

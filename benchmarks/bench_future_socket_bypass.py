@@ -1,0 +1,54 @@
+"""Future-work evaluation: transport-layer XenLoop (Sect. 6).
+
+The paper closes by proposing to move the interception "between the
+socket and transport layers ... [to eliminate] network protocol
+processing overhead from the inter-VM data path."  We implemented that
+variant (repro.core.socket_bypass); this bench quantifies what it would
+have bought, against the shipped below-network-layer design, for TCP
+workloads between co-resident guests.
+"""
+
+from repro import report, scenarios
+from repro.workloads import netperf
+
+from _bench_utils import BENCH_COSTS, emit
+
+VARIANTS = {
+    "below network layer (paper)": False,
+    "socket-layer bypass (future work)": True,
+}
+
+
+def _measure():
+    rows = {}
+    for label, bypass in VARIANTS.items():
+        scn = scenarios.xenloop(BENCH_COSTS, socket_bypass=bypass)
+        scn.warmup(max_wait=20.0)
+        rows[label] = {
+            "tcp_rr_per_s": netperf.tcp_rr(scn, duration=0.1).trans_per_sec,
+            "tcp_stream_mbps": netperf.tcp_stream(scn, duration=0.03).mbps,
+            "lat_us": 1e6 / netperf.tcp_rr(scn, duration=0.05, port=5211).trans_per_sec,
+        }
+    return rows
+
+
+def test_future_work_socket_bypass(run_once, benchmark):
+    rows = run_once(_measure)
+    columns = ["tcp_rr_per_s", "tcp_stream_mbps", "lat_us"]
+    emit(
+        "future_socket_bypass",
+        report.format_table(
+            "Future work: below-network-layer XenLoop vs socket-layer bypass",
+            columns,
+            list(rows.items()),
+            precision=1,
+        ),
+    )
+    benchmark.extra_info.update(
+        {k: {c: round(v, 1) for c, v in row.items()} for k, row in rows.items()}
+    )
+    base = rows["below network layer (paper)"]
+    future = rows["socket-layer bypass (future work)"]
+    # Eliminating TCP/IP processing pays on both latency and throughput.
+    assert future["tcp_rr_per_s"] > 1.2 * base["tcp_rr_per_s"]
+    assert future["tcp_stream_mbps"] > base["tcp_stream_mbps"]

@@ -1,0 +1,24 @@
+"""Benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+drives the simulation via ``benchmark.pedantic`` (one round -- the
+simulation is deterministic), prints the paper-style table or series,
+records headline values in ``benchmark.extra_info``, and writes the
+rendered output under ``benchmarks/results/``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Live migration demo: seamless switching between network paths.
+
+Reproduces the paper's Sect. 4.5 experiment interactively: two VMs on
+different machines exchange TCP request/response transactions; one
+migrates onto the other's machine (XenLoop discovers co-residency and
+the rate jumps), then migrates back (the channel tears down and traffic
+transparently returns to the wire).
+
+Run:  python examples/live_migration.py
+"""
+
+from repro import scenarios
+from repro.workloads import migration_rr
+
+COSTS = scenarios.DEFAULT_COSTS.replace(
+    discovery_period=1.0,
+    migration_duration=1.0,
+    migration_downtime=0.1,
+)
+
+
+def main():
+    scn = scenarios.migration_pair(COSTS)
+    scn.warmup()
+    print("vm1 on machine A, vm2 on machine B; running netperf TCP_RR "
+          "while vm2 migrates A-ward and back...\n")
+    res = migration_rr.run(scn, co_resident_hold=8.0, bin_width=0.5, settle=4.0)
+
+    peak = max(v for _t, v in res.rates())
+    print(f"{'time':>6s}  {'trans/s':>8s}")
+    for t, rate in res.rates():
+        bar = "#" * int(40 * rate / peak)
+        marker = ""
+        if abs(t - res.migrate_in_at) < 0.26:
+            marker = "  <- vm2 starts migrating to machine A"
+        elif abs(t - res.migrate_away_at) < 0.26:
+            marker = "  <- vm2 starts migrating back to machine B"
+        print(f"{t:6.1f}  {rate:8.0f}  {bar}{marker}")
+
+    print("\nThe rate jump is the XenLoop channel engaging after the "
+          "discovery module announces the newly co-resident guest; the "
+          "TCP connection itself never breaks.")
+
+
+if __name__ == "__main__":
+    main()

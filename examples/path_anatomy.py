@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Anatomy of a packet: hop-by-hop timelines through each data path.
+
+Traces a single ICMP echo request through all four communication
+scenarios and prints where every microsecond goes -- making the paper's
+core argument visible: the netfront/netback path pays two event-channel
+crossings, Dom0 scheduling, grant operations, and a bridge hop that the
+XenLoop channel replaces with one memcpy and one notification.
+
+Run:  python examples/path_anatomy.py
+"""
+
+from repro import scenarios, trace
+
+
+def main():
+    for name in ("native_loopback", "xenloop", "netfront_netback", "inter_machine"):
+        scn = scenarios.build(name)
+        scn.warmup()
+        records = trace.traced_ping(scn)
+        total = records[-1][1]
+        print(f"\n== {name}: one-way echo request, {total:.1f} us total ==")
+        prev = 0.0
+        for stage, t_us in records:
+            bar = "#" * max(1, int((t_us - prev) / 1.5)) if t_us > prev else ""
+            print(f"  {t_us:8.2f} us  (+{t_us - prev:6.2f})  {stage:24s} {bar}")
+            prev = t_us
+
+    print(
+        "\nReading the bars: on the netfront path the big gaps are the "
+        "virq deliveries into Dom0 and back plus Dom0 scheduling; the "
+        "XenLoop path replaces all of it with FIFO copy + one notify."
+    )
+
+
+if __name__ == "__main__":
+    main()

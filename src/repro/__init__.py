@@ -1,0 +1,25 @@
+"""XenLoop reproduction.
+
+A discrete-event-simulated reproduction of *XenLoop: a transparent high
+performance inter-VM network loopback* (Wang, Wright, Gopalan; Cluster
+Computing 2009), including the Xen substrate (grant tables, event
+channels, XenStore, split drivers, Dom0 bridge), a Linux-like guest
+network stack with netfilter hooks, the XenLoop module itself, and the
+paper's full benchmark suite.
+
+Quickstart::
+
+    from repro import scenarios
+    from repro.workloads import pingpong
+
+    scn = scenarios.xenloop()
+    scn.warmup()
+    result = pingpong.flood_ping(scn, count=100)
+    print(result.rtt_us)
+"""
+
+from repro.calibration import DEFAULT_COSTS, CostModel
+
+__version__ = "0.1.0"
+
+__all__ = ["CostModel", "DEFAULT_COSTS", "__version__"]

@@ -1,0 +1,166 @@
+"""Command-line interface: regenerate the paper's headline results
+without pytest.
+
+Usage::
+
+    python -m repro list
+    python -m repro ping [scenario]
+    python -m repro snapshot            # Tables 1-3 in one run
+    python -m repro fig11               # migration timeline
+    python -m repro bypass              # future-work socket bypass
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import report, scenarios
+from repro.workloads import lmbench, migration_rr, netperf, pingpong
+
+SCENARIO_ORDER = ["inter_machine", "netfront_netback", "xenloop", "native_loopback"]
+
+
+def _warm(name: str, **kwargs):
+    scn = scenarios.build(name, **kwargs)
+    scn.warmup()
+    return scn
+
+
+def cmd_list(_args) -> int:
+    """List scenarios and available commands."""
+    print("scenarios:")
+    for name in scenarios.SCENARIO_BUILDERS:
+        print(f"  {name}")
+    print("\ncommands: list, ping, snapshot, fig11, bypass")
+    print("full benchmark harness: pytest benchmarks/ --benchmark-only -s")
+    return 0
+
+
+def cmd_ping(args) -> int:
+    """Flood-ping one scenario or all four."""
+    names = [args.scenario] if args.scenario else SCENARIO_ORDER
+    for name in names:
+        scn = _warm(name)
+        res = pingpong.flood_ping(scn, count=args.count)
+        print(f"{name:20s} {res.rtt_us:8.1f} us RTT  "
+              f"(min {res.min_us:.1f}, max {res.max_us:.1f}, {res.count} pings)")
+    return 0
+
+
+def cmd_snapshot(_args) -> int:
+    """Measure every Tables 1-3 metric across the four scenarios."""
+    rows = {
+        "flood ping RTT (us)": {},
+        "lmbench lat_tcp (us)": {},
+        "netperf TCP_RR (trans/s)": {},
+        "netperf UDP_RR (trans/s)": {},
+        "lmbench bw_tcp (Mbps)": {},
+        "netperf TCP_STREAM (Mbps)": {},
+        "netperf UDP_STREAM (Mbps)": {},
+    }
+    for name in SCENARIO_ORDER:
+        print(f"measuring {name}...", file=sys.stderr)
+        scn = _warm(name)
+        rows["flood ping RTT (us)"][name] = pingpong.flood_ping(scn, count=100).rtt_us
+        rows["lmbench lat_tcp (us)"][name] = lmbench.lat_tcp(scn, round_trips=200).latency_us
+        rows["netperf TCP_RR (trans/s)"][name] = netperf.tcp_rr(scn, duration=0.05).trans_per_sec
+        rows["netperf UDP_RR (trans/s)"][name] = netperf.udp_rr(scn, duration=0.05).trans_per_sec
+        rows["lmbench bw_tcp (Mbps)"][name] = lmbench.bw_tcp(scn, total_bytes=2 << 20).mbps
+        rows["netperf TCP_STREAM (Mbps)"][name] = netperf.tcp_stream(scn, duration=0.03).mbps
+        rows["netperf UDP_STREAM (Mbps)"][name] = netperf.udp_stream(
+            scn, duration=0.03, msg_size=32768
+        ).mbps
+    print(report.format_table(
+        "Tables 1-3 snapshot (see EXPERIMENTS.md for paper values)",
+        SCENARIO_ORDER,
+        list(rows.items()),
+        precision=1,
+    ))
+    return 0
+
+
+def cmd_fig11(_args) -> int:
+    """Print the Fig. 11 migration timeline as ASCII."""
+    costs = scenarios.DEFAULT_COSTS.replace(
+        discovery_period=1.0, migration_duration=1.0, migration_downtime=0.1
+    )
+    scn = scenarios.migration_pair(costs)
+    scn.warmup()
+    res = migration_rr.run(scn, co_resident_hold=8.0, bin_width=0.5, settle=4.0)
+    peak = max(v for _t, v in res.rates())
+    for t, rate in res.rates():
+        print(f"{t:6.1f}s {rate:8.0f} trans/s  {'#' * int(40 * rate / peak)}")
+    print(f"\nmigrate in at t={res.migrate_in_at:.1f}s, away at t={res.migrate_away_at:.1f}s")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Print a traced ping's hop-by-hop timeline per scenario."""
+    from repro import trace
+
+    names = [args.scenario] if args.scenario else SCENARIO_ORDER
+    for name in names:
+        scn = _warm(name)
+        records = trace.traced_ping(scn)
+        print(f"\n{name}: echo-request hop timeline")
+        prev = 0.0
+        for stage, t_us in records:
+            print(f"  {t_us:8.2f} us  (+{t_us - prev:6.2f})  {stage}")
+            prev = t_us
+    return 0
+
+
+def cmd_bypass(_args) -> int:
+    """Compare the shipped design against the future-work socket bypass."""
+    rows = {}
+    for label, bypass in (("below network layer (paper)", False),
+                          ("socket-layer bypass (future work)", True)):
+        scn = scenarios.xenloop(socket_bypass=bypass)
+        scn.warmup()
+        rows[label] = {
+            "tcp_rr_per_s": netperf.tcp_rr(scn, duration=0.05).trans_per_sec,
+            "tcp_stream_mbps": netperf.tcp_stream(scn, duration=0.02).mbps,
+        }
+    print(report.format_table(
+        "Transport-layer interception (paper Sect. 6 future work)",
+        ["tcp_rr_per_s", "tcp_stream_mbps"],
+        list(rows.items()),
+        precision=0,
+    ))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch to a subcommand; returns the exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="XenLoop reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list scenarios and commands")
+    ping = sub.add_parser("ping", help="flood-ping one or all scenarios")
+    ping.add_argument("scenario", nargs="?", choices=list(scenarios.SCENARIO_BUILDERS))
+    ping.add_argument("--count", type=int, default=100)
+    sub.add_parser("snapshot", help="Tables 1-3 in one run")
+    sub.add_parser("fig11", help="migration timeline (Fig. 11)")
+    sub.add_parser("bypass", help="future-work socket bypass comparison")
+    tr = sub.add_parser("trace", help="hop-by-hop ping timeline per path")
+    tr.add_argument("scenario", nargs="?", choices=list(scenarios.SCENARIO_BUILDERS))
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "ping": cmd_ping,
+        "snapshot": cmd_snapshot,
+        "fig11": cmd_fig11,
+        "bypass": cmd_bypass,
+        "trace": cmd_trace,
+    }
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

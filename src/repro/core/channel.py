@@ -1,0 +1,548 @@
+"""The bidirectional inter-VM channel (paper Sect. 3.3).
+
+Three components: two FIFOs (one per direction, each one descriptor
+page + data pages of shared memory) and one event channel used for
+data-available *and* space-available *and* teardown notifications --
+the 1-bit semantics make all three share a port cleanly.
+
+Bootstrap ("client-server"): the guest with the **smaller** guest-ID is
+the listener; it creates the FIFO pages and the unbound event-channel
+port, grants access to the connector, and sends ``create_channel`` with
+two descriptor-page grant references and the port number.  The
+connector maps the descriptor pages, reads the data-page grant
+references *from* the descriptor pages, maps those too, binds the event
+channel, and replies ``channel_ack``.  The listener resends
+``create_channel`` up to 3 times on timeout before giving up.
+
+Data transfer is two copies -- sender memcpy into the FIFO, receiver
+memcpy out -- which the paper selects over page sharing/transfer and
+over receive-side zero-copy (see ``benchmarks/bench_ablation_zerocopy``
+for the re-run of that design comparison).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.fifo import Fifo, fifo_pages_for_order
+from repro.core.protocol import ChannelAck, CreateChannel
+from repro.net.packet import Packet
+from repro.xen.grant_table import GrantError
+from repro.xen.page import SharedRegion
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.module import XenLoopModule
+    from repro.net.addr import MacAddr
+
+__all__ = ["Channel", "ChannelState"]
+
+#: FIFO entry type for an IPv4 packet.
+ENTRY_IPV4 = 1
+#: FIFO entry type for a socket-bypass stream frame (experimental
+#: transport-layer variant; see repro.core.socket_bypass).
+ENTRY_STREAM = 2
+
+
+class _ZeroCopySource:
+    """Pseudo-device for zero-copy inline injection at layer 3."""
+
+    name = "xenloop-zerocopy"
+
+    def rx_cost(self, packet) -> float:
+        return 0.0
+
+
+class ChannelState(enum.Enum):
+    """Lifecycle states of one channel endpoint."""
+    INIT = "init"
+    #: connector waiting for create_channel / listener waiting for ack.
+    BOOTSTRAPPING = "bootstrapping"
+    CONNECTED = "connected"
+    CLOSED = "closed"
+    FAILED = "failed"
+
+
+class Channel:
+    """One endpoint's view of the channel with a single co-resident peer."""
+
+    def __init__(self, module: "XenLoopModule", peer_domid: int, peer_mac: "MacAddr"):
+        self.module = module
+        self.guest = module.guest
+        self.peer_domid = peer_domid
+        self.peer_mac = peer_mac
+        #: smaller guest-ID acts as the listener (paper Fig. 3).
+        self.is_listener = self.guest.domid < peer_domid
+        #: receive-side zero-copy variant (ablation; see
+        #: :meth:`_drain_one_zero_copy`).  Inherited from the module.
+        self.zero_copy_rx = module.zero_copy_rx
+        self.state = ChannelState.INIT
+
+        self.out_fifo: Optional[Fifo] = None
+        self.in_fifo: Optional[Fifo] = None
+        self.port = None  # our event-channel endpoint
+
+        # Listener-side grant bookkeeping.
+        self._granted_regions: list[SharedRegion] = []
+        # Connector-side map bookkeeping: (gref, page) pairs.
+        self._mapped_grefs: list[int] = []
+
+        #: entries (msg_type, data) that did not fit in the FIFO, "placed
+        #: in a waiting list to be sent once enough resources are
+        #: available".
+        self.waiting_list: deque[tuple[int, bytes]] = deque()
+        self.waiting_bytes = 0
+        self._waiting_space_waiters: deque = deque()
+        #: optional handler for ENTRY_STREAM entries (socket bypass);
+        #: called as handler(payload_bytes) in drain-worker context.
+        self.stream_handler = None
+
+        self._ack_event = None
+        self._drain_kick = self.guest.sim.event(name="xl-drain-kick")
+        self._drain_worker = None
+
+        # Statistics.
+        self.pkts_sent = 0
+        self.bytes_sent = 0
+        self.pkts_received = 0
+        self.bytes_received = 0
+        self.notifies = 0
+        #: simulated time of the last packet in either direction (used by
+        #: the module's optional idle-channel reaper).
+        self.last_activity = self.guest.sim.now
+
+    # ------------------------------------------------------------------
+    # Bootstrap -- listener side
+    # ------------------------------------------------------------------
+    def listener_start(self):
+        """Create FIFOs + event channel and run the create/ack handshake
+        (generator, guest context).  Returns True on success."""
+        guest = self.guest
+        costs = guest.costs
+        k = self.module.fifo_order
+        n_data = fifo_pages_for_order(k)
+
+        self.state = ChannelState.BOOTSTRAPPING
+        # Allocate and initialize the two FIFOs in our own memory.
+        region_out = SharedRegion(guest.domid, 1 + n_data)
+        region_in = SharedRegion(guest.domid, 1 + n_data)
+        self.out_fifo = Fifo(region_out, k=k)
+        self.in_fifo = Fifo(region_in, k=k)
+        self._granted_regions = [region_out, region_in]
+
+        # Grant every page to the connector; data-page grefs go into the
+        # descriptor pages, descriptor-page grefs go into the message.
+        table = guest.grant_table
+        yield guest.exec(costs.grant_entry_update * 2 * (1 + n_data))
+        desc_grefs = []
+        for region, fifo in ((region_out, self.out_fifo), (region_in, self.in_fifo)):
+            grefs = [table.grant_foreign_access(self.peer_domid, p) for p in region.pages]
+            fifo.store_grefs(grefs[1:])
+            desc_grefs.append(grefs[0])
+
+        # Event channel: unbound port the connector will bind to.
+        evtchn = guest.machine.hypervisor.evtchn
+        self.port = evtchn.alloc_unbound(guest.domid, self.peer_domid)
+        evtchn.set_handler(self.port, self._on_event)
+
+        msg = CreateChannel(
+            sender_domid=guest.domid,
+            gref_out=desc_grefs[0],
+            gref_in=desc_grefs[1],
+            evtchn_port=self.port.port,
+        )
+
+        # Send create_channel; retry up to 3 times on ack timeout.
+        for _attempt in range(costs.bootstrap_retries):
+            self._ack_event = guest.sim.event(name="xl-ack")
+            yield from self.module.send_control(self.peer_mac, msg)
+            yield guest.sim.any_of([self._ack_event, guest.sim.timeout(costs.bootstrap_timeout)])
+            if self.state == ChannelState.CONNECTED:
+                return True
+            if self.state != ChannelState.BOOTSTRAPPING:
+                break  # torn down while waiting
+        if self.state == ChannelState.BOOTSTRAPPING:
+            yield from self._abort_bootstrap()
+        return False
+
+    def on_channel_ack(self) -> None:
+        """Listener: connector confirmed (softirq context)."""
+        if self.state != ChannelState.BOOTSTRAPPING or not self.is_listener:
+            return
+        self.state = ChannelState.CONNECTED
+        self._start_drain_worker()
+        if self._ack_event is not None and not self._ack_event.triggered:
+            self._ack_event.succeed()
+
+    def _abort_bootstrap(self):
+        guest = self.guest
+        self.state = ChannelState.FAILED
+        if self.port is not None:
+            guest.machine.hypervisor.evtchn.close(self.port)
+            self.port = None
+        try:
+            guest.grant_table.revoke_all_for(self.peer_domid)
+        except GrantError:
+            guest.grant_table.revoke_all_for(self.peer_domid, force=True)
+        self._granted_regions = []
+        self.out_fifo = self.in_fifo = None
+        self.module.channel_closed(self)
+        yield guest.exec(guest.costs.grant_entry_update)
+
+    # ------------------------------------------------------------------
+    # Bootstrap -- connector side
+    # ------------------------------------------------------------------
+    def connector_complete(self, msg: CreateChannel):
+        """Map the listener's FIFOs and bind the event channel (generator,
+        guest context).  Returns True on success."""
+        guest = self.guest
+        costs = guest.costs
+        if self.state not in (ChannelState.INIT, ChannelState.BOOTSTRAPPING):
+            return False
+        self.state = ChannelState.BOOTSTRAPPING
+        peer_table = guest.machine.hypervisor.grant_tables.get(self.peer_domid)
+        if peer_table is None:
+            self.state = ChannelState.FAILED
+            self.module.channel_closed(self)
+            return False
+
+        try:
+            # Map the two descriptor pages.
+            yield guest.exec(costs.hypercall + 2 * costs.grant_map_page)
+            desc_out_page = peer_table.map_grant(msg.gref_out, guest.domid)
+            desc_in_page = peer_table.map_grant(msg.gref_in, guest.domid)
+            self._mapped_grefs += [msg.gref_out, msg.gref_in]
+
+            # The listener's "out" FIFO is our "in" FIFO and vice versa.
+            fifo_in = Fifo(desc_out_page.region)
+            fifo_out = Fifo(desc_in_page.region)
+
+            # Map the data pages named inside each descriptor page.
+            for fifo in (fifo_in, fifo_out):
+                grefs = fifo.load_grefs()
+                yield guest.exec(costs.hypercall + len(grefs) * costs.grant_map_page)
+                for gref in grefs:
+                    peer_table.map_grant(gref, guest.domid)
+                    self._mapped_grefs.append(gref)
+
+            evtchn = guest.machine.hypervisor.evtchn
+            self.port = evtchn.bind_interdomain(guest.domid, self.peer_domid, msg.evtchn_port)
+            evtchn.set_handler(self.port, self._on_event)
+        except Exception:  # noqa: BLE001 - any mapping/bind failure aborts cleanly
+            yield from self._disengage(notify_peer=False)
+            self.state = ChannelState.FAILED
+            self.module.channel_closed(self)
+            return False
+
+        self.in_fifo = fifo_in
+        self.out_fifo = fifo_out
+        self.state = ChannelState.CONNECTED
+        self._start_drain_worker()
+        yield from self.module.send_control(self.peer_mac, ChannelAck(guest.domid))
+        return True
+
+    # ------------------------------------------------------------------
+    # Data transfer
+    # ------------------------------------------------------------------
+    def fits(self, nbytes: int) -> bool:
+        """Whether a payload of ``nbytes`` can ever fit the outgoing FIFO."""
+        return self.out_fifo is not None and self.out_fifo.fits(nbytes)
+
+    def send_packet(self, packet: Packet):
+        """Copy one L3 packet into the outgoing FIFO (generator, sender
+        context).  Returns True when the channel took the packet (into
+        the FIFO or onto the waiting list, flushed on space-available
+        notifications) and False when the channel is unusable -- the
+        caller then lets the packet continue down the standard path."""
+        from repro import trace
+
+        trace.mark(packet, "xenloop-fifo-push", self.guest.sim.now)
+        taken = yield from self.send_entry(ENTRY_IPV4, packet.to_l3_bytes())
+        return taken
+
+    def send_entry(self, msg_type: int, data: bytes):
+        """Copy one typed entry into the outgoing FIFO (generator, sender
+        context).  The base module sends ENTRY_IPV4 packets; the
+        experimental socket-bypass variant sends ENTRY_STREAM frames.
+
+        The shared ACTIVE flag is re-checked right before the copy: a
+        peer tearing down (migration, shutdown) clears it in the shared
+        descriptor page, and anything we would push after its final
+        drain would be lost.  Checking flag-then-push without an
+        intervening yield point mirrors the real module's
+        check-under-the-producer-lock."""
+        guest = self.guest
+        costs = guest.costs
+        if not self._usable():
+            return False
+        yield guest.exec(costs.xenloop_fifo_op + costs.copy_cost(len(data)))
+        if not self._usable():
+            return False
+        if self.waiting_list:
+            # Preserve ordering behind already-waiting entries.
+            self.waiting_list.append((msg_type, data))
+            self.waiting_bytes += len(data)
+            self.out_fifo.set_producer_waiting()
+            return True
+        if self.out_fifo.push(data, msg_type):
+            self.pkts_sent += 1
+            self.bytes_sent += len(data)
+            self.last_activity = guest.sim.now
+            yield guest.exec(costs.evtchn_send)
+            self.notifies += 1
+            guest.machine.hypervisor.evtchn.notify(self.port)
+        else:
+            self.waiting_list.append((msg_type, data))
+            self.waiting_bytes += len(data)
+            self.out_fifo.set_producer_waiting()
+        return True
+
+    def _usable(self) -> bool:
+        return (
+            self.state is ChannelState.CONNECTED
+            and self.out_fifo is not None
+            and self.out_fifo.active
+            and self.in_fifo.active
+        )
+
+    def _flush_waiting(self):
+        """Push as many waiting entries as now fit (generator)."""
+        guest = self.guest
+        costs = guest.costs
+        pushed = False
+        while self.waiting_list and self._usable():
+            msg_type, data = self.waiting_list[0]
+            yield guest.exec(costs.xenloop_fifo_op)
+            if not self.out_fifo.push(data, msg_type):
+                self.out_fifo.set_producer_waiting()
+                break
+            self.waiting_list.popleft()
+            self.waiting_bytes -= len(data)
+            self.pkts_sent += 1
+            self.bytes_sent += len(data)
+            yield guest.exec(costs.copy_cost(len(data)))
+            pushed = True
+        if pushed:
+            yield guest.exec(costs.evtchn_send)
+            self.notifies += 1
+            guest.machine.hypervisor.evtchn.notify(self.port)
+            self._wake_waiting_space()
+
+    def _wake_waiting_space(self) -> None:
+        while self._waiting_space_waiters:
+            waiter = self._waiting_space_waiters.popleft()
+            if not waiter.triggered:
+                waiter.succeed()
+
+    def wait_waiting_space(self):
+        """Event that fires when the waiting list drains a bit (used by
+        the socket-bypass variant for sender flow control)."""
+        waiter = self.guest.sim.event(name="xl-waitspace")
+        self._waiting_space_waiters.append(waiter)
+        return waiter
+
+    # -- receive side ---------------------------------------------------
+    def _on_event(self) -> None:
+        """Event-channel upcall (already charged virq_entry)."""
+        if not self._drain_kick.triggered:
+            self._drain_kick.succeed()
+
+    def _start_drain_worker(self) -> None:
+        if self._drain_worker is None:
+            self._drain_worker = self.guest.spawn(self._drain_loop(), name="xl-drain")
+
+    def _drain_loop(self):
+        guest = self.guest
+        costs = guest.costs
+        while self.state == ChannelState.CONNECTED:
+            drained = 0
+            while True:
+                if self.zero_copy_rx:
+                    advanced = yield from self._drain_one_zero_copy()
+                    if not advanced:
+                        break
+                    drained += 1
+                    continue
+                entry = self.in_fifo.pop()
+                if entry is None:
+                    break
+                msg_type, data = entry
+                yield guest.exec(costs.xenloop_fifo_op + costs.copy_cost(len(data)))
+                if msg_type == ENTRY_IPV4:
+                    packet = Packet.from_l3_bytes(data)
+                    packet.meta["via"] = "xenloop"
+                    from repro import trace
+
+                    trace.adopt(packet, guest.sim)
+                    trace.mark(packet, "xenloop-fifo-pop", guest.sim.now)
+                    self.pkts_received += 1
+                    self.bytes_received += len(data)
+                    self.last_activity = guest.sim.now
+                    guest.stack.rx_network(packet)
+                elif msg_type == ENTRY_STREAM and self.stream_handler is not None:
+                    self.pkts_received += 1
+                    self.bytes_received += len(data)
+                    self.last_activity = guest.sim.now
+                    self.stream_handler(data)
+                drained += 1
+            # Space-available notification for a waiting producer.
+            if drained and self.in_fifo.producer_waiting:
+                self.in_fifo.clear_producer_waiting()
+                yield guest.exec(costs.evtchn_send)
+                guest.machine.hypervisor.evtchn.notify(self.port)
+            # Our own waiting list may be flushable now.
+            if self.waiting_list:
+                yield from self._flush_waiting()
+            # Teardown initiated by the peer?
+            if not self.in_fifo.active or not self.out_fifo.active:
+                yield from self._peer_initiated_teardown()
+                return
+            self._drain_kick = guest.sim.event(name="xl-drain-kick")
+            yield self._drain_kick
+
+    def _drain_one_zero_copy(self):
+        """The receive-side zero-copy design alternative (Sect. 3.3,
+        "comparing options for data transfer"): the packet is processed
+        directly out of the FIFO and the slots are released only after
+        the protocol stack has completed processing -- which holds
+        "precious space in FIFO ... during protocol processing" and
+        back-pressures the sender.  Implemented (and rejected) by the
+        authors; reproduced here for the ablation benchmark."""
+        guest = self.guest
+        costs = guest.costs
+        entry = self.in_fifo.peek()
+        if entry is None:
+            return False
+        msg_type, data, slots = entry
+        yield guest.exec(costs.xenloop_fifo_op)  # no copy!
+        if msg_type == ENTRY_IPV4:
+            packet = Packet.from_l3_bytes(data)
+            packet.meta["via"] = "xenloop-zerocopy"
+            self.pkts_received += 1
+            self.bytes_received += len(data)
+            self.last_activity = guest.sim.now
+            # Protocol processing runs inline, with the FIFO space held...
+            yield from guest.stack.ipv4.input(packet, _ZeroCopySource())
+            # ...and stays held until the application's read copies the
+            # payload out of the sk_buff that points into the FIFO.
+            yield guest.sim.timeout(guest.costs.zerocopy_hold)
+        self.in_fifo.advance(slots)
+        return True
+
+    # ------------------------------------------------------------------
+    # Teardown (paper Sect. 3.3, "Channel teardown")
+    # ------------------------------------------------------------------
+    def teardown(self):
+        """Locally-initiated teardown (generator, guest context).
+
+        Marks the FIFOs inactive in the shared descriptor pages, notifies
+        the peer, drains pending incoming packets, and disengages.
+        Returns the list of serialized L3 packets from the waiting list
+        so the caller (module) can resend them via the standard path.
+        (ENTRY_STREAM entries cannot be resent -- the bypass endpoints
+        are notified of the channel's death instead.)
+        """
+        if self.state != ChannelState.CONNECTED:
+            self.state = ChannelState.CLOSED
+            self.module.channel_closed(self)
+            return []
+        guest = self.guest
+        costs = guest.costs
+        self.state = ChannelState.CLOSED
+
+        self.out_fifo.mark_inactive()
+        self.in_fifo.mark_inactive()
+        yield guest.exec(costs.evtchn_send)
+        guest.machine.hypervisor.evtchn.notify(self.port)
+
+        # Receive anything still pending in our incoming FIFO.
+        yield from self._drain_remaining()
+        saved = self._take_saved_packets()
+        yield from self._disengage(notify_peer=False)
+        self.module.channel_closed(self)
+        self._notify_stream_death()
+        return saved
+
+    def _peer_initiated_teardown(self):
+        """The peer marked the channel inactive; disengage our side."""
+        guest = self.guest
+        self.state = ChannelState.CLOSED
+        yield from self._drain_remaining()
+        saved = self._take_saved_packets()
+        yield from self._disengage(notify_peer=True)
+        self.module.channel_closed(self)
+        self._notify_stream_death()
+        # Anything we had queued goes back out via the standard path.
+        for data in saved:
+            self.module.resend_via_standard_path(data)
+
+    def _take_saved_packets(self) -> list[bytes]:
+        saved = [data for msg_type, data in self.waiting_list if msg_type == ENTRY_IPV4]
+        self.waiting_list.clear()
+        self.waiting_bytes = 0
+        self._wake_waiting_space()
+        return saved
+
+    def _notify_stream_death(self) -> None:
+        if self.stream_handler is not None:
+            self.stream_handler(None)  # None signals "channel gone"
+
+    def _drain_remaining(self):
+        guest = self.guest
+        costs = guest.costs
+        while self.in_fifo is not None:
+            entry = self.in_fifo.pop()
+            if entry is None:
+                return
+            msg_type, data = entry
+            yield guest.exec(costs.xenloop_fifo_op + costs.copy_cost(len(data)))
+            if msg_type == ENTRY_IPV4:
+                packet = Packet.from_l3_bytes(data)
+                packet.meta["via"] = "xenloop"
+                self.pkts_received += 1
+                guest.stack.rx_network(packet)
+
+    def _disengage(self, notify_peer: bool):
+        """Unmap/revoke shared memory and close our event-channel port.
+
+        The steps are "slightly asymmetrical depending upon whether
+        initially each guest bootstrapped in the role of a listener or a
+        connector" (Sect. 3.3): the connector unmaps the listener's
+        pages; the listener revokes its grant entries (forcing if the
+        peer died without unmapping) and frees the FIFO memory.
+        """
+        guest = self.guest
+        costs = guest.costs
+        if self.is_listener:
+            try:
+                guest.grant_table.revoke_all_for(self.peer_domid)
+            except GrantError:
+                guest.grant_table.revoke_all_for(self.peer_domid, force=True)
+            yield guest.exec(costs.grant_entry_update * max(1, len(self._granted_regions)))
+            self._granted_regions = []
+        else:
+            peer_table = guest.machine.hypervisor.grant_tables.get(self.peer_domid)
+            n = len(self._mapped_grefs)
+            if n:
+                yield guest.exec(costs.hypercall + n * costs.grant_unmap_page)
+            if peer_table is not None:
+                for gref in self._mapped_grefs:
+                    try:
+                        peer_table.unmap_grant(gref, guest.domid)
+                    except GrantError:
+                        pass  # listener already revoked (force path)
+            self._mapped_grefs = []
+        if self.port is not None:
+            if notify_peer and self.port.peer is not None:
+                yield guest.exec(costs.evtchn_send)
+                guest.machine.hypervisor.evtchn.notify(self.port)
+            guest.machine.hypervisor.evtchn.close(self.port)
+            self.port = None
+        self.out_fifo = self.in_fifo = None
+        if self._drain_kick is not None and not self._drain_kick.triggered:
+            self._drain_kick.succeed()  # let the drain worker observe CLOSED
+
+    def __repr__(self) -> str:  # pragma: no cover
+        role = "listener" if self.is_listener else "connector"
+        return f"<Channel {self.guest.name}<->dom{self.peer_domid} {role} {self.state.value}>"

@@ -1,0 +1,93 @@
+"""Dom0 Domain Discovery module (paper Sect. 3.2).
+
+Every ``discovery_period`` (5 s) the module scans XenStore -- which
+only Dom0 can read across domains -- for guests advertising a
+``xenloop`` entry, collates their [guest-ID, MAC] identity pairs, and
+transmits an announcement frame (XenLoop-type layer-3 protocol ID) to
+each willing guest through the software bridge.  Guests absent from
+XenStore simply stop appearing in announcements, and peers prune them:
+soft-state discovery with no explicit de-registration message.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.protocol import Announce
+from repro.net.addr import MacAddr
+from repro.net.ethernet import ETH_P_XENLOOP
+from repro.net.packet import EthHeader, Packet
+from repro.xen.xenstore import XenStoreError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.xen.machine import XenMachine
+
+__all__ = ["DiscoveryModule"]
+
+#: source MAC used on announcement frames (Dom0's bridge identity).
+DOM0_MAC = MacAddr("fe:ff:ff:ff:ff:ff")
+
+
+class DiscoveryModule:
+    """Dom0-resident periodic XenStore scanner and announcer."""
+    def __init__(self, machine: "XenMachine", period: float | None = None):
+        self.machine = machine
+        self.period = period if period is not None else machine.costs.discovery_period
+        self.running = True
+        self.scans = 0
+        self.announcements_sent = 0
+        machine.dom0.spawn(self._scan_loop(), name="xl-discovery")
+
+    def stop(self) -> None:
+        """Stop scanning (no further announcements are sent)."""
+        self.running = False
+
+    # -- one scan ------------------------------------------------------
+    def collate(self) -> list[tuple[int, MacAddr]]:
+        """Read XenStore and build the [guest-ID, MAC] list of willing guests."""
+        store = self.machine.xenstore
+        entries: list[tuple[int, MacAddr]] = []
+        try:
+            domids = store.ls(0, "/local/domain")
+        except XenStoreError:
+            return entries
+        for domid_str in domids:
+            try:
+                domid = int(domid_str)
+            except ValueError:
+                continue
+            path = f"/local/domain/{domid}/xenloop"
+            if not store.exists(0, path):
+                continue
+            try:
+                mac = MacAddr(store.read(0, path))
+            except (XenStoreError, ValueError):
+                continue
+            entries.append((domid, mac))
+        return entries
+
+    def _scan_loop(self):
+        dom0 = self.machine.dom0
+        costs = dom0.costs
+        while self.running:
+            yield dom0.sim.timeout(self.period)
+            if not self.running:
+                return
+            self.scans += 1
+            # One XenStore directory listing plus a read per guest.
+            yield dom0.exec(costs.xenstore_op)
+            entries = self.collate()
+            yield dom0.exec(costs.xenstore_op * max(1, len(entries)))
+            if not entries:
+                continue
+            announce_payload = None
+            for domid, mac in entries:
+                msg = Announce(sender_domid=dom0.domid, entries=entries)
+                announce_payload = msg.to_bytes()
+                frame = Packet(
+                    payload=announce_payload,
+                    eth=EthHeader(dst=mac, src=DOM0_MAC, ethertype=ETH_P_XENLOOP),
+                )
+                self.announcements_sent += 1
+                # Inject into the bridge; it forwards to the guest's vif.
+                self.machine.bridge.input(None, frame)

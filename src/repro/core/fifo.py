@@ -1,0 +1,264 @@
+"""The lockless producer-consumer FIFO (paper Sect. 3.3, "FIFO design").
+
+Faithful to the paper's construction:
+
+* the FIFO occupies shared memory: one *descriptor page* plus a run of
+  data pages holding ``2^k`` slots of 8 bytes each;
+* each entry is one 8-byte metadata slot (length, type) followed by
+  ``ceil(len/8)`` payload slots;
+* the ``front`` and ``back`` indices are free-running **m-bit** counters
+  (m = 32 here, with m > k), only ever incremented -- ``back`` by the
+  producer, ``front`` by the consumer -- so no producer-consumer lock
+  and no special wrap-around handling is needed: the occupied slot
+  count is always ``(back - front) mod 2^m`` because ``m > k`` keeps
+  the two counters within ``2^k <= 2^m`` of each other;
+* the descriptor page also carries the channel state flags
+  (``ACTIVE``, set at creation, cleared at teardown) and the
+  ``PRODUCER_WAITING`` bit used to ask the consumer for a
+  space-available notification;
+* in the real module the indices live in the shared descriptor page and
+  are read/written by two kernel instances; here the descriptor page is
+  a numpy view over genuinely shared :class:`~repro.xen.page.SharedRegion`
+  memory, so both domains observe the same bytes.  The paper's
+  producer-local / consumer-local spinlocks (for multiple producer or
+  consumer *threads* within one guest) are subsumed by the simulator's
+  run-to-completion semantics: ``push``/``pop`` contain no yield points.
+
+All CPU costs (copy, bookkeeping) are charged by the *callers* in the
+channel layer, since sender and receiver pay on their own CPUs.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+import numpy as np
+
+from repro.xen.page import PAGE_SIZE, SharedRegion
+
+__all__ = ["Fifo", "FifoLayoutError", "fifo_pages_for_order"]
+
+#: descriptor-page word offsets (uint32).
+_MAGIC_WORD = 0
+_ORDER_WORD = 1
+_FRONT_WORD = 2
+_BACK_WORD = 3
+_FLAGS_WORD = 4
+
+MAGIC = 0x58454E4C  # "XENL"
+
+FLAG_ACTIVE = 0x1
+FLAG_PRODUCER_WAITING = 0x2
+
+#: byte offset inside the descriptor page where the grant references of
+#: the data pages are stored (the bootstrap create_channel message only
+#: carries the descriptor page's gref; the connector reads the rest from
+#: here, exactly as in Sect. 3.3 "Channel bootstrap").
+GREF_TABLE_OFFSET = 64
+
+INDEX_MASK = 0xFFFFFFFF  # m = 32
+
+#: metadata slot: uint32 length | uint16 type | uint16 reserved.
+_META = struct.Struct("<IHH")
+
+
+def fifo_pages_for_order(k: int) -> int:
+    """Number of data pages needed for 2^k slots of 8 bytes."""
+    return max(1, (8 << k) // PAGE_SIZE)
+
+
+class FifoLayoutError(Exception):
+    """The shared region cannot hold (or does not contain) a valid FIFO."""
+    pass
+
+
+class Fifo:
+    """One direction of the XenLoop channel."""
+
+    def __init__(self, region: SharedRegion, k: Optional[int] = None):
+        """Wrap ``region`` as a FIFO.
+
+        With ``k`` given, the FIFO is (re)initialized as empty (producer
+        side at creation).  With ``k=None`` the layout is read back from
+        the descriptor page (consumer side after mapping).
+        """
+        self.region = region
+        self._desc = region.array[:PAGE_SIZE].view(np.uint32)
+        self._data = region.array[PAGE_SIZE:]
+        if k is not None:
+            if k < 1 or k > 31:
+                raise FifoLayoutError(f"k={k} out of range (need 1 <= k <= 31, m=32)")
+            if len(self._data) < (8 << k):
+                raise FifoLayoutError(
+                    f"region has {len(self._data)} data bytes, need {8 << k}"
+                )
+            self._desc[_MAGIC_WORD] = MAGIC
+            self._desc[_ORDER_WORD] = k
+            self._desc[_FRONT_WORD] = 0
+            self._desc[_BACK_WORD] = 0
+            self._desc[_FLAGS_WORD] = FLAG_ACTIVE
+        else:
+            if int(self._desc[_MAGIC_WORD]) != MAGIC:
+                raise FifoLayoutError("descriptor page has no XenLoop magic")
+            k = int(self._desc[_ORDER_WORD])
+        self.k = k
+        self.size = 1 << k
+        self.mask = self.size - 1
+        self.pushes = 0
+        self.pops = 0
+        self.push_failures = 0
+
+    # -- descriptor state ---------------------------------------------------
+    @property
+    def front(self) -> int:
+        """Consumer index (free-running 32-bit counter in the descriptor page)."""
+        return int(self._desc[_FRONT_WORD])
+
+    @property
+    def back(self) -> int:
+        """Producer index (free-running 32-bit counter in the descriptor page)."""
+        return int(self._desc[_BACK_WORD])
+
+    @property
+    def used_slots(self) -> int:
+        """Occupied slots: ``(back - front) mod 2^32`` -- valid because m > k."""
+        return (self.back - self.front) & INDEX_MASK
+
+    @property
+    def free_slots(self) -> int:
+        """Slots available to the producer right now."""
+        return self.size - self.used_slots
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the consumer has caught up with the producer."""
+        return self.front == self.back
+
+    @property
+    def active(self) -> bool:
+        """The shared ACTIVE flag (cleared by channel teardown)."""
+        return bool(self._desc[_FLAGS_WORD] & FLAG_ACTIVE)
+
+    def mark_inactive(self) -> None:
+        """Clear ACTIVE in the shared descriptor (channel teardown)."""
+        self._desc[_FLAGS_WORD] = int(self._desc[_FLAGS_WORD]) & ~FLAG_ACTIVE
+
+    @property
+    def producer_waiting(self) -> bool:
+        """Shared flag: the producer queued packets awaiting space."""
+        return bool(self._desc[_FLAGS_WORD] & FLAG_PRODUCER_WAITING)
+
+    def set_producer_waiting(self) -> None:
+        """Ask the consumer for a space-available notification."""
+        self._desc[_FLAGS_WORD] = int(self._desc[_FLAGS_WORD]) | FLAG_PRODUCER_WAITING
+
+    def clear_producer_waiting(self) -> None:
+        """Acknowledge the space request (consumer side)."""
+        self._desc[_FLAGS_WORD] = int(self._desc[_FLAGS_WORD]) & ~FLAG_PRODUCER_WAITING
+
+    # -- capacity -------------------------------------------------------------
+    @property
+    def capacity_bytes(self) -> int:
+        """Largest payload that can *ever* fit (one entry in an empty FIFO)."""
+        return (self.size - 1) * 8
+
+    @staticmethod
+    def slots_needed(nbytes: int) -> int:
+        """Slots one entry occupies: 1 metadata slot + ceil(len/8) payload slots."""
+        return 1 + (nbytes + 7) // 8
+
+    def fits(self, nbytes: int) -> bool:
+        """Whether a payload of ``nbytes`` could fit in an *empty* FIFO."""
+        return self.slots_needed(nbytes) <= self.size
+
+    # -- the lockless operations ------------------------------------------
+    def push(self, data: bytes, msg_type: int = 1) -> bool:
+        """Producer: append one entry.  Returns False when there is no room
+        (the caller puts the packet on its waiting list, Sect. 3.1)."""
+        need = self.slots_needed(len(data))
+        back = self.back
+        if need > self.size - ((back - self.front) & INDEX_MASK):
+            self.push_failures += 1
+            return False
+        self._write_slots(back & self.mask, _META.pack(len(data), msg_type, 0) + data)
+        # Single index store *after* the data write publishes the entry.
+        self._desc[_BACK_WORD] = (back + need) & INDEX_MASK
+        self.pushes += 1
+        return True
+
+    def pop(self) -> Optional[tuple[int, bytes]]:
+        """Consumer: remove the oldest entry; returns (type, payload)."""
+        entry = self.peek()
+        if entry is None:
+            return None
+        msg_type, payload, need = entry
+        self.advance(need)
+        return msg_type, payload
+
+    def peek(self) -> Optional[tuple[int, bytes, int]]:
+        """Consumer: read the oldest entry WITHOUT freeing its slots.
+
+        Returns (type, payload, slots).  Used by the zero-copy receive
+        variant (the design alternative of Sect. 3.3 in which the
+        sk_buff points into the FIFO and the space is released only
+        after protocol processing); call :meth:`advance` afterwards.
+        """
+        front = self.front
+        if front == self.back:
+            return None
+        meta = self._read_slots(front & self.mask, 8)
+        length, msg_type, _rsvd = _META.unpack(meta)
+        need = self.slots_needed(length)
+        payload = self._read_slots((front + 1) & self.mask, need * 8 - 8)[:length]
+        return msg_type, bytes(payload), need
+
+    def advance(self, slots: int) -> None:
+        """Consumer: release ``slots`` (from a previous :meth:`peek`)."""
+        self._desc[_FRONT_WORD] = (self.front + slots) & INDEX_MASK
+        self.pops += 1
+
+    # -- raw slot I/O with wrap-around ---------------------------------------
+    def _write_slots(self, slot: int, blob: bytes) -> None:
+        start = slot * 8
+        end = start + len(blob)
+        ring_bytes = self.size * 8
+        src = np.frombuffer(blob, dtype=np.uint8)
+        if end <= ring_bytes:
+            self._data[start:end] = src
+        else:
+            first = ring_bytes - start
+            self._data[start:ring_bytes] = src[:first]
+            self._data[: end - ring_bytes] = src[first:]
+
+    def _read_slots(self, slot: int, nbytes: int) -> np.ndarray:
+        start = slot * 8
+        end = start + nbytes
+        ring_bytes = self.size * 8
+        if end <= ring_bytes:
+            return self._data[start:end]
+        first = self._data[start:ring_bytes]
+        rest = self._data[: end - ring_bytes]
+        return np.concatenate([first, rest])
+
+    # -- gref table (bootstrap) ------------------------------------------
+    def store_grefs(self, grefs: list[int]) -> None:
+        """Record the data pages' grant references in the descriptor page."""
+        table = self.region.array[GREF_TABLE_OFFSET : GREF_TABLE_OFFSET + 4 * (len(grefs) + 1)]
+        view = table.view(np.uint32)
+        view[0] = len(grefs)
+        view[1:] = grefs
+
+    def load_grefs(self) -> list[int]:
+        """Read the data-page grant references back from the descriptor page."""
+        count = int(self.region.array[GREF_TABLE_OFFSET : GREF_TABLE_OFFSET + 4].view(np.uint32)[0])
+        table = self.region.array[
+            GREF_TABLE_OFFSET + 4 : GREF_TABLE_OFFSET + 4 + 4 * count
+        ].view(np.uint32)
+        return [int(g) for g in table]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Fifo k={self.k} used={self.used_slots}/{self.size} "
+            f"{'active' if self.active else 'inactive'}>"
+        )

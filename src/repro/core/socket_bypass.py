@@ -1,0 +1,375 @@
+"""Experimental transport-layer XenLoop (the paper's future work).
+
+Sect. 6: "we are presently investigating whether XenLoop functionality
+can [be] implemented transparently between the socket and transport
+layers in the protocol stack, instead of below the network layer ...
+This can potentially lead to elimination of network protocol processing
+overhead from the inter-VM data path."
+
+:class:`SocketBypassModule` extends the regular XenLoop module with
+exactly that: when an application connects a TCP socket to a
+co-resident guest that has a connected channel, the connection is
+transparently served by a :class:`BypassConnection` that moves the
+application byte stream through the FIFO directly -- no TCP segments,
+no IP headers, no checksums.  The server side is equally transparent:
+the accepted connection object comes out of the ordinary listener's
+``accept()``.
+
+The channel is already reliable and ordered (it is shared memory with
+producer/consumer indices), so the stream protocol is minimal: SYN /
+SYN-ACK / DATA / FIN / RST frames multiplexed by stream id.  What this
+variant gives up -- and why the paper left it as future work -- is
+**migration transparency**: a TCP connection survives channel teardown
+because the packets fall back to the standard path, but a byte stream
+that lives *inside* the channel has nothing to fall back to.  Bypass
+connections are therefore errored out when the channel dies, and the
+module refuses to create new ones while any peer relationship is
+unstable.  The ablation benchmark quantifies the protocol-processing
+saving this buys on the steady-state data path.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.channel import Channel, ChannelState, ENTRY_STREAM
+from repro.core.module import XenLoopModule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.addr import IPv4Addr
+    from repro.xen.domain import Domain
+
+__all__ = ["BypassConnection", "SocketBypassModule"]
+
+_FRAME = struct.Struct("!IBH")  # stream_id, kind, port
+
+KIND_SYN = 1
+KIND_SYN_ACK = 2
+KIND_DATA = 3
+KIND_FIN = 4
+KIND_RST = 5
+
+#: per-frame payload cap: large writes are chunked so no frame outgrows
+#: the FIFO and the receiver interleaves streams fairly.
+MAX_FRAME_PAYLOAD = 16384
+
+#: sender-side flow control: block the app while more than this many
+#: bytes sit on the channel's waiting list.
+WAITING_LIST_CAP = 65536
+
+
+class BypassError(OSError):
+    """A bypass stream operation failed (e.g. the channel died)."""
+    pass
+
+
+class BypassConnection:
+    """A socket-compatible byte-stream endpoint over the XenLoop channel.
+
+    Exposes the same blocking-generator API as
+    :class:`repro.net.tcp.TcpConnection` (``send`` / ``recv`` /
+    ``recv_exactly`` / ``close`` / ``established`` / ``closed_event`` /
+    ``state``), so applications cannot tell which one ``connect`` or
+    ``accept`` handed them.
+    """
+
+    def __init__(self, module: "SocketBypassModule", channel: Channel, stream_id: int, port: int):
+        self.module = module
+        self.channel = channel
+        self.stream_id = stream_id
+        self.port = port
+        self.guest = module.guest
+        # TcpConnection-compatible endpoint tuples.  The peer's IP is
+        # recovered from the neighbour cache via the channel's MAC.
+        peer_ip = module.peer_ip(channel)
+        self.local = (self.guest.stack.ip, port)
+        self.remote = (peer_ip, port)
+        sim = self.guest.sim
+        self.state = "CONNECTING"
+        self.established = sim.event(name="bypass-established")
+        self.closed_event = sim.event(name="bypass-closed")
+        self._recv_buf: deque[bytes] = deque()
+        self._recv_bytes = 0
+        self._recv_waiters: deque = deque()
+        self.eof = False
+        self._fin_sent = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # -- application API ------------------------------------------------
+    def send(self, data: bytes):
+        """Blocking send (generator): the byte stream goes through the
+        FIFO with no transport/network processing at all."""
+        if self.state != "ESTABLISHED":
+            raise BypassError(f"send on {self.state} bypass stream")
+        node = self.guest
+        yield node.exec(node.costs.syscall + node.costs.socket_layer)
+        offset = 0
+        while offset < len(data):
+            while self.channel.waiting_bytes > WAITING_LIST_CAP:
+                yield self.channel.wait_waiting_space()
+                if self.state == "CLOSED":
+                    raise BypassError("bypass stream died while sending")
+            chunk = data[offset : offset + MAX_FRAME_PAYLOAD]
+            taken = yield from self.module.send_stream_frame(
+                self.channel, self.stream_id, KIND_DATA, self.port, chunk
+            )
+            if not taken:
+                raise BypassError("channel torn down mid-stream")
+            self.bytes_sent += len(chunk)
+            offset += len(chunk)
+        return len(data)
+
+    def recv(self, max_bytes: int):
+        """Blocking receive (generator); b"" on EOF."""
+        node = self.guest
+        yield node.exec(node.costs.syscall + node.costs.socket_layer)
+        while not self._recv_buf and not self.eof:
+            if self.state == "CLOSED" and not self._recv_buf:
+                return b""
+            waiter = node.sim.event(name="bypass-recv")
+            self._recv_waiters.append(waiter)
+            yield waiter
+        if not self._recv_buf:
+            return b""
+        chunks: list[bytes] = []
+        taken = 0
+        while self._recv_buf and taken < max_bytes:
+            head = self._recv_buf[0]
+            want = max_bytes - taken
+            if len(head) <= want:
+                chunks.append(self._recv_buf.popleft())
+                taken += len(head)
+            else:
+                chunks.append(head[:want])
+                self._recv_buf[0] = head[want:]
+                taken += want
+        self._recv_bytes -= taken
+        yield node.exec(node.costs.copy_cost(taken))  # kernel -> user
+        return b"".join(chunks)
+
+    def recv_exactly(self, n: int):
+        """Receive exactly ``n`` bytes (generator); raises on early EOF."""
+        parts: list[bytes] = []
+        got = 0
+        while got < n:
+            chunk = yield from self.recv(n - got)
+            if not chunk:
+                raise BypassError(f"stream closed after {got}/{n} bytes")
+            parts.append(chunk)
+            got += len(chunk)
+        return b"".join(parts)
+
+    def close(self):
+        """Half-close: send FIN; fully closed once both sides have."""
+        if self.state in ("CLOSED",) or self._fin_sent:
+            return
+        node = self.guest
+        yield node.exec(node.costs.syscall)
+        self._fin_sent = True
+        yield from self.module.send_stream_frame(
+            self.channel, self.stream_id, KIND_FIN, self.port, b""
+        )
+        if self.eof:
+            self._become_closed()
+
+    # -- frame arrival (drain-worker context, synchronous) -----------------
+    def on_data(self, payload: bytes) -> None:
+        """Frame arrival (drain-worker context): buffer and wake readers."""
+        self._recv_buf.append(payload)
+        self._recv_bytes += len(payload)
+        self.bytes_received += len(payload)
+        self._wake()
+
+    def on_fin(self) -> None:
+        """Peer FIN arrival: mark EOF and finish the close handshake."""
+        self.eof = True
+        if self._fin_sent:
+            self._become_closed()
+        self._wake()
+
+    def on_channel_death(self) -> None:
+        """The underlying channel died (teardown/migration): bypass
+        streams have no fallback path and must error out."""
+        self.eof = True
+        self._become_closed()
+
+    def _become_closed(self) -> None:
+        if self.state == "CLOSED":
+            return
+        self.state = "CLOSED"
+        self.module.forget_stream(self)
+        if not self.closed_event.triggered:
+            self.closed_event.succeed()
+        self._wake()
+
+    def _wake(self) -> None:
+        while self._recv_waiters:
+            waiter = self._recv_waiters.popleft()
+            if not waiter.triggered:
+                waiter.succeed()
+                break
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<BypassConnection sid={self.stream_id} {self.state}>"
+
+
+class SocketBypassModule(XenLoopModule):
+    """XenLoop plus transparent socket-layer interception."""
+
+    def __init__(self, guest: "Domain", **kwargs):
+        super().__init__(guest, **kwargs)
+        #: (channel, stream_id) -> BypassConnection
+        self._streams: dict[tuple[int, int], BypassConnection] = {}
+        self._next_stream_id = 2 if guest.domid % 2 == 0 else 1  # odd/even split
+        self.bypass_connects = 0
+        self.bypass_fallbacks = 0
+        guest.stack.transport_intercept = self
+
+    # -- transparent connect interception -----------------------------------
+    def intercept_connect(self, remote: "tuple[IPv4Addr, int]"):
+        """Called by the stack's tcp_connect (generator).  Returns a
+        BypassConnection, or None to fall back to real TCP."""
+        guest = self.guest
+        stack = guest.stack
+        dst_ip, dst_port = remote
+        if not self.loaded or not dst_ip.in_subnet(stack.network, stack.prefix_len):
+            return None
+        mac = stack.arp.lookup(dst_ip)
+        if mac is None:
+            mac = yield from stack.arp.resolve(dst_ip)
+            if mac is None:
+                return None
+        channel = self.channels.get(mac)
+        if channel is None or channel.state is not ChannelState.CONNECTED:
+            self.bypass_fallbacks += 1
+            return None
+        if channel.stream_handler is None:
+            self._attach_stream_handler(channel)
+
+        stream_id = self._alloc_stream_id()
+        conn = BypassConnection(self, channel, stream_id, dst_port)
+        self._streams[(id(channel), stream_id)] = conn
+        taken = yield from self.send_stream_frame(
+            channel, stream_id, KIND_SYN, dst_port, b""
+        )
+        if not taken:
+            self.forget_stream(conn)
+            self.bypass_fallbacks += 1
+            return None
+        result = yield guest.sim.any_of(
+            [conn.established, guest.sim.timeout(self.guest.costs.bootstrap_timeout * 4)]
+        )
+        if not conn.established.triggered or conn.state != "ESTABLISHED":
+            # no listener / peer refused: fall back to real TCP
+            self.forget_stream(conn)
+            self.bypass_fallbacks += 1
+            return None
+        self.bypass_connects += 1
+        return conn
+
+    def _alloc_stream_id(self) -> int:
+        sid = self._next_stream_id
+        self._next_stream_id += 2  # keep odd/even spaces disjoint per side
+        return sid
+
+    # -- frame plumbing --------------------------------------------------
+    def send_stream_frame(self, channel: Channel, stream_id: int, kind: int, port: int, payload: bytes):
+        """Push one stream frame onto the channel (generator)."""
+        frame = _FRAME.pack(stream_id, kind, port) + payload
+        taken = yield from channel.send_entry(ENTRY_STREAM, frame)
+        return taken
+
+    def _attach_stream_handler(self, channel: Channel) -> None:
+        def handler(payload: Optional[bytes]) -> None:
+            if payload is None:
+                self._channel_died(channel)
+            else:
+                self._stream_input(channel, payload)
+
+        channel.stream_handler = handler
+
+    def _initiate_bootstrap(self, mac, peer_domid) -> None:
+        super()._initiate_bootstrap(mac, peer_domid)
+        channel = self.channels.get(mac)
+        if channel is not None:
+            self._attach_stream_handler(channel)
+
+    def _handle_create_channel(self, msg, src_mac) -> None:
+        super()._handle_create_channel(msg, src_mac)
+        channel = self.channels.get(src_mac)
+        if channel is not None and channel.stream_handler is None:
+            self._attach_stream_handler(channel)
+
+    def _handle_connect_request(self, msg) -> None:
+        super()._handle_connect_request(msg)
+        channel = self.channels.get(msg.sender_mac)
+        if channel is not None and channel.stream_handler is None:
+            self._attach_stream_handler(channel)
+
+    def _stream_input(self, channel: Channel, frame: bytes) -> None:
+        if len(frame) < _FRAME.size:
+            return
+        stream_id, kind, port = _FRAME.unpack_from(frame)
+        payload = frame[_FRAME.size :]
+        key = (id(channel), stream_id)
+        conn = self._streams.get(key)
+        if kind == KIND_SYN:
+            self._passive_open(channel, stream_id, port)
+        elif conn is None:
+            return  # stale frame for a forgotten stream
+        elif kind == KIND_SYN_ACK:
+            conn.state = "ESTABLISHED"
+            if not conn.established.triggered:
+                conn.established.succeed()
+        elif kind == KIND_DATA:
+            conn.on_data(payload)
+        elif kind == KIND_FIN:
+            conn.on_fin()
+        elif kind == KIND_RST:
+            conn.on_channel_death()
+
+    def _passive_open(self, channel: Channel, stream_id: int, port: int) -> None:
+        guest = self.guest
+        listener = guest.stack.tcp.listeners.get(port)
+        if listener is None:
+            guest.spawn(
+                self.send_stream_frame(channel, stream_id, KIND_RST, port, b""),
+                name="bypass-rst",
+            )
+            return
+        conn = BypassConnection(self, channel, stream_id, port)
+        conn.state = "ESTABLISHED"
+        conn.established.succeed()
+        self._streams[(id(channel), stream_id)] = conn
+        listener._offer(conn)
+        guest.spawn(
+            self.send_stream_frame(channel, stream_id, KIND_SYN_ACK, port, b""),
+            name="bypass-synack",
+        )
+
+    def _channel_died(self, channel: Channel) -> None:
+        for (chan_id, _sid), conn in list(self._streams.items()):
+            if chan_id == id(channel):
+                conn.on_channel_death()
+
+    def forget_stream(self, conn: BypassConnection) -> None:
+        """Remove a finished stream from the demux table."""
+        self._streams.pop((id(conn.channel), conn.stream_id), None)
+
+    def peer_ip(self, channel: Channel):
+        """Reverse-resolve the channel peer's IP from the ARP cache."""
+        for ip, mac in self.guest.stack.arp.table.items():
+            if mac == channel.peer_mac:
+                return ip
+        return None
+
+    def stats(self) -> dict[str, int]:
+        """Module stats extended with bypass connect/fallback counters."""
+        base = super().stats()
+        base["bypass_connects"] = self.bypass_connects
+        base["bypass_fallbacks"] = self.bypass_fallbacks
+        base["bypass_streams"] = len(self._streams)
+        return base

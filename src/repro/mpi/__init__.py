@@ -1,0 +1,14 @@
+"""Minimal message-passing library over simulated TCP sockets.
+
+Stands in for MPICH in the paper's netpipe-mpich and OSU benchmarks:
+the benchmarks there are *unmodified* MPI applications whose transport
+(ch3:sock) runs over ordinary TCP -- which is exactly why they benefit
+from XenLoop transparently.  This library gives our reimplementations
+of those benchmarks the same property: blocking ``send``/``recv`` with
+a length-prefixed wire framing over an ordinary simulated TCP
+connection, no knowledge of XenLoop anywhere.
+"""
+
+from repro.mpi.comm import MpiConnection, mpi_connect_pair
+
+__all__ = ["MpiConnection", "mpi_connect_pair"]

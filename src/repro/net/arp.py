@@ -1,0 +1,110 @@
+"""ARP neighbour cache.
+
+The XenLoop software bridge resolves the next-hop MAC of every outgoing
+packet "with the help of a system-maintained neighbor cache, which
+happens to be the ARP-table cache in the case of IPv4" (paper
+Sect. 3.1).  This module is that cache, plus the request/reply protocol
+that populates it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.addr import BROADCAST_MAC, IPv4Addr, MacAddr
+from repro.net.ethernet import ETH_P_ARP
+from repro.net.packet import ArpHeader, Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.stack import NetworkStack
+
+__all__ = ["NeighborCache"]
+
+ARP_RETRIES = 3
+ARP_TIMEOUT = 0.1  # seconds per attempt
+
+
+class NeighborCache:
+    """IP -> MAC table with on-demand resolution."""
+
+    def __init__(self, stack: "NetworkStack"):
+        self.stack = stack
+        self.table: dict[IPv4Addr, MacAddr] = {}
+        self._waiters: dict[IPv4Addr, list] = {}
+        self.requests_sent = 0
+        self.failures = 0
+
+    def lookup(self, ip: IPv4Addr) -> Optional[MacAddr]:
+        """Cache-only lookup (the XenLoop hook uses this -- it never
+        blocks waiting for resolution)."""
+        return self.table.get(ip)
+
+    def insert(self, ip: IPv4Addr, mac: MacAddr) -> None:
+        """Install a mapping and wake any resolvers blocked on it."""
+        self.table[ip] = mac
+        for ev in self._waiters.pop(ip, []):
+            if not ev.triggered:
+                ev.succeed(mac)
+
+    def flush(self) -> None:
+        """Drop every cached mapping."""
+        self.table.clear()
+
+    def resolve(self, ip: IPv4Addr):
+        """Resolve ``ip`` (generator).  Returns the MAC or None on failure.
+
+        Retries :data:`ARP_RETRIES` times with :data:`ARP_TIMEOUT` spacing,
+        like the kernel's unicast ARP probe schedule (simplified).
+        """
+        node = self.stack.node
+        yield node.exec(node.costs.arp_lookup)
+        mac = self.table.get(ip)
+        if mac is not None:
+            return mac
+        dev = self.stack.primary_device()
+        if dev is None:
+            self.failures += 1
+            return None
+        for _attempt in range(ARP_RETRIES):
+            answer = node.sim.event(name=f"arp:{ip}")
+            self._waiters.setdefault(ip, []).append(answer)
+            yield from self._send(dev, ArpHeader.OP_REQUEST, BROADCAST_MAC, ip)
+            self.requests_sent += 1
+            result = yield node.sim.any_of([answer, node.sim.timeout(ARP_TIMEOUT)])
+            mac = self.table.get(ip)
+            if mac is not None:
+                return mac
+        self.failures += 1
+        return None
+
+    def handle_frame(self, packet: Packet, dev) -> None:
+        """Process a received ARP frame (called from the softirq)."""
+        arp = ArpHeader.from_bytes(packet.payload)
+        # Learn the sender mapping opportunistically, as Linux does.
+        self.insert(arp.sender_ip, arp.sender_mac)
+        if arp.op == ArpHeader.OP_REQUEST and arp.target_ip == self.stack.ip:
+            self.stack.node.spawn(
+                self._send(dev, ArpHeader.OP_REPLY, arp.sender_mac, arp.sender_ip),
+                name="arp-reply",
+            )
+
+    def announce(self) -> None:
+        """Send a gratuitous ARP (used after VM migration so switches and
+        bridges re-learn the path to this guest's MAC)."""
+        dev = self.stack.primary_device()
+        if dev is None:
+            return
+        self.stack.node.spawn(
+            self._send(dev, ArpHeader.OP_REPLY, BROADCAST_MAC, self.stack.ip),
+            name="arp-gratuitous",
+        )
+
+    def _send(self, dev, op: int, target_mac: MacAddr, target_ip: IPv4Addr):
+        hdr = ArpHeader(
+            op=op,
+            sender_mac=dev.mac,
+            sender_ip=self.stack.ip,
+            target_mac=MacAddr(0) if target_mac.is_broadcast else target_mac,
+            target_ip=target_ip,
+        )
+        yield from self.stack.link_output(dev, target_mac, ETH_P_ARP, hdr.to_bytes())

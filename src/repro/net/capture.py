@@ -1,0 +1,118 @@
+"""Packet capture (tcpdump analogue) for debugging and tests.
+
+Attach a :class:`PacketCapture` to any device and every transmitted and
+received frame is recorded with a timestamp and direction::
+
+    cap = PacketCapture.attach(guest.netfront.vif)
+    ... run traffic ...
+    print(cap.dump())
+    cap.detach()
+
+Because XenLoop steals packets *before* the device, a capture on the
+vif is also the cleanest way to demonstrate the bypass: once the
+channel connects, data packets stop appearing here entirely (see
+tests/net/test_capture.py::test_xenloop_bypass_visible_in_capture).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.devices import NetDevice
+    from repro.net.packet import Packet
+
+__all__ = ["CapturedFrame", "PacketCapture"]
+
+
+@dataclass
+class CapturedFrame:
+    """One recorded frame: timestamp, direction, and the packet itself."""
+    time: float
+    direction: str  # "tx" | "rx"
+    packet: "Packet"
+
+    def describe(self) -> str:
+        """Render the frame as a one-line tcpdump-style summary."""
+        pkt = self.packet
+        parts = [f"{self.time * 1e6:10.1f}us", self.direction]
+        if pkt.eth is not None:
+            parts.append(f"{pkt.eth.src}>{pkt.eth.dst}")
+            parts.append(f"type={pkt.eth.ethertype:#06x}")
+        if pkt.ip is not None:
+            parts.append(f"{pkt.ip.src}>{pkt.ip.dst} proto={pkt.ip.proto}")
+        if pkt.l4 is not None:
+            parts.append(type(pkt.l4).__name__)
+        parts.append(f"len={pkt.wire_len}")
+        return " ".join(parts)
+
+
+class PacketCapture:
+    """Records frames crossing one device, both directions."""
+
+    def __init__(self, dev: "NetDevice"):
+        self.dev = dev
+        self.frames: list[CapturedFrame] = []
+        self._orig_queue_xmit = None
+        self._orig_deliver_up = None
+        self.attached = False
+
+    @classmethod
+    def attach(cls, dev: "NetDevice") -> "PacketCapture":
+        """Start capturing on ``dev`` (wraps its tx/rx entry points)."""
+        cap = cls(dev)
+        cap._orig_queue_xmit = dev.queue_xmit
+        cap._orig_deliver_up = dev.deliver_up
+
+        def tx_wrapper(packet):
+            cap._record("tx", packet)
+            return cap._orig_queue_xmit(packet)
+
+        def rx_wrapper(packet):
+            cap._record("rx", packet)
+            return cap._orig_deliver_up(packet)
+
+        dev.queue_xmit = tx_wrapper
+        dev.deliver_up = rx_wrapper
+        cap.attached = True
+        return cap
+
+    def detach(self) -> None:
+        """Stop capturing and restore the device's original methods."""
+        if not self.attached:
+            return
+        self.dev.queue_xmit = self._orig_queue_xmit
+        self.dev.deliver_up = self._orig_deliver_up
+        self.attached = False
+
+    def _record(self, direction: str, packet: "Packet") -> None:
+        now = self._now()
+        self.frames.append(CapturedFrame(now, direction, packet))
+
+    def _now(self) -> float:
+        node = getattr(self.dev, "node", None)
+        if node is None:
+            node = getattr(self.dev, "netfront", None) and self.dev.netfront.guest
+        return node.sim.now if node is not None else 0.0
+
+    # -- inspection -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def filter(self, direction: Optional[str] = None, proto: Optional[int] = None):
+        """Recorded frames filtered by direction and/or IP protocol."""
+        out = self.frames
+        if direction is not None:
+            out = [f for f in out if f.direction == direction]
+        if proto is not None:
+            out = [f for f in out if f.packet.ip is not None and f.packet.ip.proto == proto]
+        return out
+
+    def dump(self) -> str:
+        """All recorded frames as tcpdump-style text."""
+        return "\n".join(f.describe() for f in self.frames)
+
+    def clear(self) -> None:
+        """Discard everything recorded so far."""
+        self.frames.clear()

@@ -1,0 +1,22 @@
+"""Ethernet-level constants.
+
+``ETH_P_XENLOOP`` is the special XenLoop-type protocol ID the paper
+uses for discovery announcements and channel-bootstrap messages that
+travel out-of-band over the standard netfront/netback path (Sect. 3.2,
+3.3).
+"""
+
+ETH_HEADER_LEN = 14
+
+ETH_P_IP = 0x0800
+ETH_P_ARP = 0x0806
+#: XenLoop control messages (announcements, create_channel, ack, ...).
+ETH_P_XENLOOP = 0x584C
+
+#: Standard Ethernet MTU (bytes of layer-3 payload per frame).
+DEFAULT_MTU = 1500
+
+#: IP protocol numbers.
+IPPROTO_ICMP = 1
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17

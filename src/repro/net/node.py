@@ -1,0 +1,53 @@
+"""Node: anything that runs software and owns a network stack.
+
+A ``Node`` is a native host or a Xen domain (``repro.xen.domain.Domain``
+subclasses it).  It knows how to charge CPU time to the right schedule
+entity on the right physical machine, and it owns the processes that
+make up its "kernel" and applications.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.calibration import CostModel
+from repro.sim.engine import Event, Process, Simulator
+from repro.sim.resources import CPUCores
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.stack import NetworkStack
+
+__all__ = ["Node"]
+
+
+class Node:
+    """An OS instance: CPU accounting + process spawning + a stack slot."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cpus: CPUCores,
+        costs: CostModel,
+        name: str,
+        sched_key: Optional[Any] = None,
+    ):
+        self.sim = sim
+        self.cpus = cpus
+        self.costs = costs
+        self.name = name
+        #: key under which this node's work is scheduled on the cores;
+        #: all of Dom0's work shares one key, each guest has its own.
+        self.sched_key = sched_key if sched_key is not None else name
+        self.stack: "NetworkStack | None" = None
+        self.alive = True
+
+    def exec(self, cost: float) -> Event:
+        """Charge ``cost`` seconds of CPU to this node; event fires when done."""
+        return self.cpus.execute(self.sched_key, cost)
+
+    def spawn(self, generator, name: str = "") -> Process:
+        """Run a generator as a process belonging to this node."""
+        return self.sim.process(generator, name=f"{self.name}:{name or 'proc'}")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Node {self.name}>"

@@ -1,0 +1,348 @@
+"""Packets and protocol headers -- the simulation's ``struct sk_buff``.
+
+Headers are small dataclasses with real binary serialization
+(``to_bytes`` / ``from_bytes``); the XenLoop FIFO carries genuine
+serialized layer-3 packets, so anything that goes through the channel
+is round-tripped through its wire format.  This is what lets the test
+suite assert byte-exact delivery through the shared-memory path.
+
+Conventions:
+
+* A packet with ``ip.frag_offset > 0`` or ``ip.more_frags`` is an IP
+  fragment: ``l4 is None`` and ``payload`` is the raw slice of the
+  original layer-3 payload (the first fragment's slice starts with the
+  serialized L4 header, as on a real wire).
+* ``meta`` is simulation-side bookkeeping (timestamps, path taken) and
+  is never serialized.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional, Union
+
+from repro.net.addr import IPv4Addr, MacAddr
+from repro.net.ethernet import (
+    ETH_HEADER_LEN,
+    IPPROTO_ICMP,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+)
+
+__all__ = [
+    "ArpHeader",
+    "EthHeader",
+    "IPv4Header",
+    "IcmpHeader",
+    "Packet",
+    "TcpHeader",
+    "UdpHeader",
+    "TCP_SYN",
+    "TCP_ACK",
+    "TCP_FIN",
+    "TCP_PSH",
+]
+
+TCP_FIN = 0x01
+TCP_SYN = 0x02
+TCP_PSH = 0x08
+TCP_ACK = 0x10
+
+
+@dataclass
+class EthHeader:
+    """Ethernet II header (14 bytes on the wire)."""
+    dst: MacAddr
+    src: MacAddr
+    ethertype: int
+
+    HEADER_LEN = ETH_HEADER_LEN
+    _FMT = "!6s6sH"
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the 14-byte wire format."""
+        return struct.pack(self._FMT, self.dst.to_bytes(), self.src.to_bytes(), self.ethertype)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "EthHeader":
+        """Parse the 14-byte wire format."""
+        dst, src, ethertype = struct.unpack_from(cls._FMT, data)
+        return cls(MacAddr.from_bytes(dst), MacAddr.from_bytes(src), ethertype)
+
+
+@dataclass
+class ArpHeader:
+    """Just enough of ARP for IPv4-over-Ethernet resolution."""
+
+    op: int  # 1 = request, 2 = reply
+    sender_mac: MacAddr
+    sender_ip: IPv4Addr
+    target_mac: MacAddr
+    target_ip: IPv4Addr
+
+    HEADER_LEN = 28
+    _FMT = "!H6s4s6s4s"
+
+    OP_REQUEST = 1
+    OP_REPLY = 2
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the 28-byte wire format."""
+        return struct.pack(
+            self._FMT,
+            self.op,
+            self.sender_mac.to_bytes(),
+            self.sender_ip.to_bytes(),
+            self.target_mac.to_bytes(),
+            self.target_ip.to_bytes(),
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ArpHeader":
+        """Parse the 28-byte wire format."""
+        op, smac, sip, tmac, tip = struct.unpack_from(cls._FMT, data)
+        return cls(
+            op,
+            MacAddr.from_bytes(smac),
+            IPv4Addr.from_bytes(sip),
+            MacAddr.from_bytes(tmac),
+            IPv4Addr.from_bytes(tip),
+        )
+
+
+@dataclass
+class IPv4Header:
+    """IPv4 header (20 bytes; version/TOS/checksum carried as padding)."""
+    src: IPv4Addr
+    dst: IPv4Addr
+    proto: int
+    ident: int = 0
+    #: fragment offset in BYTES (the real header stores 8-byte units;
+    #: serialization converts, and offsets must be 8-byte aligned).
+    frag_offset: int = 0
+    more_frags: bool = False
+    ttl: int = 64
+    #: total length of the L3 packet (header + payload); filled by the
+    #: IP layer on transmit.
+    total_length: int = 0
+
+    HEADER_LEN = 20
+    # version/IHL/TOS and checksum are carried as padding (4x total with
+    # the two trailing bytes): 2+2+2+1+1+4+4+4 = 20 bytes.
+    _FMT = "!HHHBB4s4s4x"
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the 20-byte wire format (offset in 8-byte units)."""
+        if self.frag_offset % 8:
+            raise ValueError(f"fragment offset {self.frag_offset} not 8-byte aligned")
+        frag_word = (self.frag_offset // 8) | (0x2000 if self.more_frags else 0)
+        return struct.pack(
+            self._FMT,
+            self.total_length,
+            self.ident,
+            frag_word,
+            self.ttl,
+            self.proto,
+            self.src.to_bytes(),
+            self.dst.to_bytes(),
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "IPv4Header":
+        """Parse the 20-byte wire format."""
+        total_length, ident, frag_word, ttl, proto, src, dst = struct.unpack_from(cls._FMT, data)
+        return cls(
+            src=IPv4Addr.from_bytes(src),
+            dst=IPv4Addr.from_bytes(dst),
+            proto=proto,
+            ident=ident,
+            frag_offset=(frag_word & 0x1FFF) * 8,
+            more_frags=bool(frag_word & 0x2000),
+            ttl=ttl,
+            total_length=total_length,
+        )
+
+
+@dataclass
+class UdpHeader:
+    """UDP header (8 bytes; checksum carried as padding)."""
+    sport: int
+    dport: int
+    length: int = 0  # UDP header + payload
+
+    HEADER_LEN = 8
+    _FMT = "!HHH2x"
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the 8-byte wire format."""
+        return struct.pack(self._FMT, self.sport, self.dport, self.length)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "UdpHeader":
+        """Parse the 8-byte wire format."""
+        sport, dport, length = struct.unpack_from(cls._FMT, data)
+        return cls(sport, dport, length)
+
+
+@dataclass
+class TcpHeader:
+    """TCP header (20 bytes, no options; window is scaled, see tcp.py)."""
+    sport: int
+    dport: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0
+    window: int = 65535
+
+    HEADER_LEN = 20
+    _FMT = "!HHIIBBH4x"
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the 20-byte wire format (seq/ack mod 2^32)."""
+        return struct.pack(
+            self._FMT,
+            self.sport,
+            self.dport,
+            self.seq & 0xFFFFFFFF,
+            self.ack & 0xFFFFFFFF,
+            0x50,  # data offset
+            self.flags,
+            min(self.window, 0xFFFF),
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TcpHeader":
+        """Parse the 20-byte wire format."""
+        sport, dport, seq, ack, _off, flags, window = struct.unpack_from(cls._FMT, data)
+        return cls(sport, dport, seq, ack, flags, window)
+
+
+@dataclass
+class IcmpHeader:
+    """ICMP echo header (8 bytes)."""
+    icmp_type: int  # 8 = echo request, 0 = echo reply
+    code: int = 0
+    ident: int = 0
+    seq: int = 0
+
+    HEADER_LEN = 8
+    _FMT = "!BBxxHH"
+
+    ECHO_REQUEST = 8
+    ECHO_REPLY = 0
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the 8-byte wire format."""
+        return struct.pack(self._FMT, self.icmp_type, self.code, self.ident, self.seq)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "IcmpHeader":
+        """Parse the 8-byte wire format."""
+        icmp_type, code, ident, seq = struct.unpack_from(cls._FMT, data)
+        return cls(icmp_type, code, ident, seq)
+
+
+L4Header = Union[UdpHeader, TcpHeader, IcmpHeader]
+
+_L4_BY_PROTO = {
+    IPPROTO_UDP: UdpHeader,
+    IPPROTO_TCP: TcpHeader,
+    IPPROTO_ICMP: IcmpHeader,
+}
+
+
+class Packet:
+    """An in-flight network packet (sk_buff analogue)."""
+
+    __slots__ = ("eth", "ip", "l4", "payload", "meta")
+
+    def __init__(
+        self,
+        payload: bytes = b"",
+        l4: Optional[L4Header] = None,
+        ip: Optional[IPv4Header] = None,
+        eth: Optional[EthHeader] = None,
+        meta: Optional[dict[str, Any]] = None,
+    ):
+        self.payload = payload
+        self.l4 = l4
+        self.ip = ip
+        self.eth = eth
+        self.meta: dict[str, Any] = meta if meta is not None else {}
+
+    # -- sizes ----------------------------------------------------------
+    @property
+    def l4_len(self) -> int:
+        """L4 header + application payload."""
+        hdr = self.l4.HEADER_LEN if self.l4 is not None else 0
+        return hdr + len(self.payload)
+
+    @property
+    def l3_len(self) -> int:
+        """Full layer-3 packet length (IP header included when present)."""
+        hdr = IPv4Header.HEADER_LEN if self.ip is not None else 0
+        return hdr + self.l4_len
+
+    @property
+    def wire_len(self) -> int:
+        """Frame length on an Ethernet wire."""
+        return ETH_HEADER_LEN + self.l3_len
+
+    @property
+    def is_fragment(self) -> bool:
+        """True for IP fragments (offset > 0 or more-fragments set)."""
+        return self.ip is not None and (self.ip.frag_offset > 0 or self.ip.more_frags)
+
+    # -- serialization ----------------------------------------------------
+    def l3_payload_bytes(self) -> bytes:
+        """The bytes that follow the IP header on the wire."""
+        if self.l4 is not None:
+            return self.l4.to_bytes() + self.payload
+        return self.payload
+
+    def to_l3_bytes(self) -> bytes:
+        """Serialize from the IP header down (what the XenLoop FIFO carries)."""
+        if self.ip is None:
+            raise ValueError("packet has no IP header")
+        body = self.l3_payload_bytes()
+        hdr = replace(self.ip, total_length=IPv4Header.HEADER_LEN + len(body))
+        return hdr.to_bytes() + body
+
+    @classmethod
+    def from_l3_bytes(cls, data: bytes) -> "Packet":
+        """Parse a layer-3 packet serialized by :meth:`to_l3_bytes`."""
+        if len(data) < IPv4Header.HEADER_LEN:
+            raise ValueError(f"short IP packet: {len(data)} bytes")
+        ip = IPv4Header.from_bytes(data)
+        if ip.total_length != len(data):
+            raise ValueError(f"IP length field {ip.total_length} != actual {len(data)}")
+        body = data[IPv4Header.HEADER_LEN :]
+        if ip.frag_offset > 0 or ip.more_frags:
+            return cls(payload=body, ip=ip)
+        l4_cls = _L4_BY_PROTO.get(ip.proto)
+        if l4_cls is None:
+            return cls(payload=body, ip=ip)
+        l4 = l4_cls.from_bytes(body)
+        return cls(payload=body[l4_cls.HEADER_LEN :], l4=l4, ip=ip)
+
+    def clone(self) -> "Packet":
+        """Shallow-ish copy: headers copied, payload shared (immutable)."""
+        return Packet(
+            payload=self.payload,
+            l4=replace(self.l4) if self.l4 is not None else None,
+            ip=replace(self.ip) if self.ip is not None else None,
+            eth=replace(self.eth) if self.eth is not None else None,
+            meta=dict(self.meta),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = []
+        if self.eth:
+            parts.append(f"eth {self.eth.src}->{self.eth.dst} t={self.eth.ethertype:#06x}")
+        if self.ip:
+            parts.append(f"ip {self.ip.src}->{self.ip.dst} p={self.ip.proto}")
+        if self.l4:
+            parts.append(type(self.l4).__name__)
+        parts.append(f"{len(self.payload)}B")
+        return f"<Packet {' | '.join(parts)}>"

@@ -1,0 +1,162 @@
+"""BSD-style socket facade.
+
+A thin, familiar wrapper over the stack's UDP and TCP layers so that
+application code reads like ordinary (blocking) socket code.  All
+blocking calls are generators, as everywhere in the simulation::
+
+    sock = Socket(node, SOCK_STREAM)
+    yield from sock.connect((peer_ip, 80))
+    yield from sock.sendall(b"GET /")
+    reply = yield from sock.recv(4096)
+
+This is the "unmodified application" surface of the reproduction: the
+workloads and examples program against it (or the layer APIs underneath
+it) and never mention XenLoop -- transparency is the whole claim.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.addr import IPv4Addr
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+
+__all__ = ["SOCK_DGRAM", "SOCK_STREAM", "Socket", "SocketError"]
+
+SOCK_STREAM = 1
+SOCK_DGRAM = 2
+
+
+class SocketError(OSError):
+    """Misuse of the socket facade (wrong type, closed, unbound...)."""
+    pass
+
+
+def _as_addr(addr) -> tuple[IPv4Addr, int]:
+    ip, port = addr
+    return (IPv4Addr(ip), int(port))
+
+
+class Socket:
+    """One socket, datagram or stream, in the familiar shape."""
+
+    def __init__(self, node: "Node", kind: int = SOCK_STREAM):
+        if node.stack is None:
+            raise SocketError(f"{node.name} has no network stack")
+        if kind not in (SOCK_STREAM, SOCK_DGRAM):
+            raise ValueError(f"unknown socket type {kind}")
+        self.node = node
+        self.kind = kind
+        self._udp = None  # UdpSocket
+        self._conn = None  # TcpConnection or BypassConnection
+        self._listener = None  # TcpListener
+        self._bound_port: Optional[int] = None
+        self._closed = False
+
+    # -- setup ------------------------------------------------------------
+    def bind(self, addr) -> None:
+        """Bind to (ip, port); port 0 picks an ephemeral port for datagrams."""
+        ip, port = _as_addr(addr)
+        if ip.value not in (0, self.node.stack.ip.value):
+            raise SocketError(f"cannot bind {self.node.name} to {ip}")
+        if self.kind == SOCK_DGRAM:
+            self._udp = self.node.stack.udp.socket(port)
+            self._bound_port = self._udp.port
+        else:
+            self._bound_port = port
+
+    def listen(self, backlog: int = 16) -> None:
+        """Start accepting connections on the bound port (stream only)."""
+        self._require(SOCK_STREAM)
+        if self._bound_port is None:
+            raise SocketError("listen() before bind()")
+        self._listener = self.node.stack.tcp.listen(self._bound_port, backlog)
+
+    def accept(self):
+        """Generator: returns (Socket, peer_address)."""
+        self._require(SOCK_STREAM)
+        if self._listener is None:
+            raise SocketError("accept() before listen()")
+        conn = yield from self._listener.accept()
+        child = Socket(self.node, SOCK_STREAM)
+        child._conn = conn
+        return child, (str(conn.remote[0]), conn.remote[1])
+
+    def connect(self, addr):
+        """Generator: blocking connect."""
+        self._require(SOCK_STREAM)
+        self._conn = yield from self.node.stack.tcp_connect(_as_addr(addr))
+        return self
+
+    # -- stream I/O ------------------------------------------------------
+    def sendall(self, data: bytes):
+        """Blocking stream send of the whole buffer (generator)."""
+        self._require_connected()
+        yield from self._conn.send(data)
+
+    def recv(self, max_bytes: int):
+        """Blocking stream receive of up to ``max_bytes`` (generator)."""
+        self._require_connected()
+        data = yield from self._conn.recv(max_bytes)
+        return data
+
+    def recv_exactly(self, n: int):
+        """Blocking stream receive of exactly ``n`` bytes (generator)."""
+        self._require_connected()
+        data = yield from self._conn.recv_exactly(n)
+        return data
+
+    # -- datagram I/O -------------------------------------------------------
+    def sendto(self, data: bytes, addr):
+        """Send one datagram (generator); binds ephemerally on first use."""
+        self._require(SOCK_DGRAM)
+        if self._udp is None:
+            self._udp = self.node.stack.udp.socket(0)
+            self._bound_port = self._udp.port
+        ok = yield from self._udp.sendto(data, _as_addr(addr))
+        return ok
+
+    def recvfrom(self):
+        """Receive one datagram (generator); returns (data, (ip, port))."""
+        self._require(SOCK_DGRAM)
+        if self._udp is None:
+            raise SocketError("recvfrom() on an unbound datagram socket")
+        data, (ip, port) = yield from self._udp.recvfrom()
+        return data, (str(ip), port)
+
+    # -- teardown --------------------------------------------------------
+    def close(self):
+        """Generator (stream close needs simulated time for FIN)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._udp is not None:
+            self._udp.close()
+        if self._listener is not None:
+            self._listener.close()
+        if self._conn is not None:
+            yield from self._conn.close()
+
+    # -- introspection ------------------------------------------------------
+    def getsockname(self) -> tuple[str, int]:
+        """The local (ip, port) pair, port 0 if unbound."""
+        return (str(self.node.stack.ip), self._bound_port or 0)
+
+    @property
+    def connected(self) -> bool:
+        """True while an underlying stream connection is ESTABLISHED."""
+        return self._conn is not None and self._conn.state == "ESTABLISHED"
+
+    def _require(self, kind: int) -> None:
+        if self._closed:
+            raise SocketError("socket is closed")
+        if self.kind != kind:
+            want = "SOCK_STREAM" if kind == SOCK_STREAM else "SOCK_DGRAM"
+            raise SocketError(f"operation requires {want}")
+
+    def _require_connected(self) -> None:
+        self._require(SOCK_STREAM)
+        if self._conn is None:
+            raise SocketError("socket is not connected")

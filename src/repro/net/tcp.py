@@ -1,0 +1,630 @@
+"""Simplified TCP: handshake, reliable windowed byte stream, GSO-sized
+segments, immediate ACKs.
+
+Scope (documented in DESIGN.md): none of the simulated data paths lose
+packets -- the FIFO falls back to netfront when full, rings apply
+backpressure, and the wire model is lossless -- so there are no
+retransmission timers or congestion control.  What *is* modelled, because
+the paper's numbers depend on it:
+
+* segment sizing from the route's device (GSO super-segments on
+  virtual/loopback devices vs. MSS-sized segments on the physical NIC),
+* flow control via the advertised receive window (this is what causes
+  the large-message back-pressure effects in Figs. 8-9),
+* per-segment transport CPU plus checksum and copy costs,
+* ACK traffic flowing back through the same channel as data,
+* out-of-order segment buffering, needed when a connection's packets
+  switch between the netfront path and the XenLoop channel in flight
+  (channel bootstrap, teardown, migration).
+
+Sequence numbers are carried modulo 2^32 on the wire (the FIFO
+round-trips real bytes) but connections are assumed to transfer less
+than 4 GB, which every benchmark in the paper satisfies per run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.addr import IPv4Addr
+from repro.net.ethernet import IPPROTO_TCP
+from repro.net.packet import (
+    Packet,
+    TCP_ACK,
+    TCP_FIN,
+    TCP_PSH,
+    TCP_SYN,
+    TcpHeader,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.stack import NetworkStack
+
+__all__ = ["TcpConnection", "TcpLayer", "TcpListener"]
+
+#: implicit window-scale shift applied to the 16-bit wire window field.
+WINDOW_SCALE = 3
+
+EPHEMERAL_BASE = 32768
+
+#: out-of-order-buffer sentinel marking a FIN (identity-compared, so it
+#: can never collide with real payload bytes).
+_FIN_SENTINEL = b"\x00FIN-SENTINEL"
+
+# Connection states (subset of the RFC 793 machine).
+CLOSED = "CLOSED"
+SYN_SENT = "SYN_SENT"
+SYN_RCVD = "SYN_RCVD"
+ESTABLISHED = "ESTABLISHED"
+FIN_WAIT = "FIN_WAIT"
+CLOSE_WAIT = "CLOSE_WAIT"
+LAST_ACK = "LAST_ACK"
+
+
+class TcpConnection:
+    """One direction-symmetric TCP connection endpoint."""
+
+    def __init__(
+        self,
+        layer: "TcpLayer",
+        local: tuple[IPv4Addr, int],
+        remote: tuple[IPv4Addr, int],
+        sndbuf: int = 262144,
+        rcvbuf: int = 262144,
+    ):
+        self.layer = layer
+        self.local = local
+        self.remote = remote
+        self.state = CLOSED
+        self.sndbuf = sndbuf
+        self.rcvbuf = rcvbuf
+
+        sim = layer.stack.node.sim
+        self.established = sim.event(name="tcp-established")
+        self.closed_event = sim.event(name="tcp-closed")
+
+        # Send side.
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.peer_window = 65535 << WINDOW_SCALE
+        self._send_buf: deque[bytes] = deque()
+        self._send_buf_bytes = 0
+        self._send_space_waiters: deque = deque()
+        self._pump_running = False
+        self._fin_queued = False
+        self._fin_sent = False
+
+        # Retransmission (go-back-N on a fixed RTO; the only loss on any
+        # simulated path is frames dropped during migration downtime).
+        self._retx_buf: deque[tuple[int, bytes, int]] = deque()
+        self._retx_deadline: float = 0.0
+        self._retx_running = False
+        self.retransmissions = 0
+
+        # Receive side.
+        self.rcv_nxt = 0
+        self._recv_buf: deque[bytes] = deque()
+        self._recv_buf_bytes = 0
+        self._recv_waiters: deque = deque()
+        self._ooo: dict[int, bytes] = {}
+        self.eof = False
+
+        # Stats.
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.segments_sent = 0
+        self.segments_received = 0
+
+    # ------------------------------------------------------------------
+    # Application interface (generators, app process context)
+    # ------------------------------------------------------------------
+    def send(self, data: bytes):
+        """Blocking send: returns once all of ``data`` is buffered."""
+        if self.state not in (ESTABLISHED, CLOSE_WAIT):
+            raise OSError(f"send on {self.state} connection")
+        node = self.layer.stack.node
+        yield node.exec(node.costs.syscall + node.costs.socket_layer)
+        offset = 0
+        while offset < len(data):
+            while self._send_buf_bytes >= self.sndbuf:
+                waiter = node.sim.event(name="tcp-sndbuf")
+                self._send_space_waiters.append(waiter)
+                yield waiter
+                if self.state == CLOSED:
+                    raise OSError("connection closed while sending")
+            chunk = data[offset : offset + (self.sndbuf - self._send_buf_bytes)]
+            yield node.exec(node.costs.copy_cost(len(chunk)))  # user->kernel
+            self._send_buf.append(chunk)
+            self._send_buf_bytes += len(chunk)
+            offset += len(chunk)
+            self._kick_pump()
+        return len(data)
+
+    def recv(self, max_bytes: int):
+        """Blocking receive of up to ``max_bytes``; b"" signals EOF."""
+        node = self.layer.stack.node
+        yield node.exec(node.costs.syscall + node.costs.socket_layer)
+        while not self._recv_buf and not self.eof:
+            waiter = node.sim.event(name="tcp-recv")
+            self._recv_waiters.append(waiter)
+            yield waiter
+        if not self._recv_buf:
+            return b""
+        was_zero_window = (self._advertised_window() >> WINDOW_SCALE) == 0
+        chunks: list[bytes] = []
+        taken = 0
+        while self._recv_buf and taken < max_bytes:
+            head = self._recv_buf[0]
+            want = max_bytes - taken
+            if len(head) <= want:
+                chunks.append(self._recv_buf.popleft())
+                taken += len(head)
+            else:
+                chunks.append(head[:want])
+                self._recv_buf[0] = head[want:]
+                taken += want
+        self._recv_buf_bytes -= taken
+        yield node.exec(node.costs.copy_cost(taken))  # kernel->user
+        if was_zero_window and (self._advertised_window() >> WINDOW_SCALE) > 0:
+            # Window update: reopen a peer stalled on a zero window (real
+            # TCP relies on persist-timer probes; lossless paths let the
+            # receiver volunteer the update instead).
+            yield from self._send_pure_ack()
+        return b"".join(chunks)
+
+    def recv_exactly(self, n: int):
+        """Receive exactly ``n`` bytes (generator); raises on early EOF."""
+        parts: list[bytes] = []
+        got = 0
+        while got < n:
+            chunk = yield from self.recv(n - got)
+            if not chunk:
+                raise OSError(f"connection closed after {got}/{n} bytes")
+            parts.append(chunk)
+            got += len(chunk)
+        return b"".join(parts)
+
+    def close(self):
+        """Close the send direction (generator); FIN goes out after the
+        send buffer drains."""
+        if self.state in (CLOSED, FIN_WAIT, LAST_ACK):
+            return
+        node = self.layer.stack.node
+        yield node.exec(node.costs.syscall)
+        self._fin_queued = True
+        self.state = FIN_WAIT if self.state == ESTABLISHED else LAST_ACK
+        self._kick_pump()
+
+    # ------------------------------------------------------------------
+    # Transmit pump
+    # ------------------------------------------------------------------
+    def _kick_pump(self) -> None:
+        if not self._pump_running and self._tx_work_possible():
+            self._pump_running = True
+            self.layer.stack.node.spawn(self._tx_pump(), name="tcp-pump")
+
+    def _tx_work_possible(self) -> bool:
+        if self._window_avail() <= 0:
+            return False
+        if self._send_buf:
+            return True
+        return self._fin_queued and not self._fin_sent
+
+    def _window_avail(self) -> int:
+        inflight = self.snd_nxt - self.snd_una
+        return max(0, min(self.peer_window, self.layer.stack.node.costs.tcp_window) - inflight)
+
+    def _eff_mss(self) -> int:
+        dev, _next_hop = self.layer.stack.ipv4.route(self.remote[0])
+        costs = self.layer.stack.node.costs
+        if dev.gso:
+            return costs.gso_max
+        return min(costs.mss, dev.mtu - 40)
+
+    def _tx_pump(self):
+        node = self.layer.stack.node
+        costs = node.costs
+        try:
+            while True:
+                if self._send_buf and self._window_avail() > 0:
+                    size = min(self._eff_mss(), self._send_buf_bytes, self._window_avail())
+                    data = self._take_from_send_buf(size)
+                    hdr = self._make_header(TCP_ACK | TCP_PSH, seq=self.snd_nxt)
+                    self._retx_buf.append((self.snd_nxt, data, TCP_ACK | TCP_PSH))
+                    self.snd_nxt += len(data)
+                    self.bytes_sent += len(data)
+                    self.segments_sent += 1
+                    self._arm_retx()
+                    yield node.exec(costs.tcp_layer + costs.checksum_cost(len(data)))
+                    yield from self.layer.stack.ipv4.output(
+                        self.remote[0], IPPROTO_TCP, hdr, data
+                    )
+                    self._wake_send_space()
+                elif (
+                    self._fin_queued
+                    and not self._fin_sent
+                    and not self._send_buf
+                    and self._window_avail() > 0
+                ):
+                    hdr = self._make_header(TCP_ACK | TCP_FIN, seq=self.snd_nxt)
+                    self._retx_buf.append((self.snd_nxt, b"", TCP_ACK | TCP_FIN))
+                    self.snd_nxt += 1  # FIN consumes a sequence number
+                    self._fin_sent = True
+                    self.segments_sent += 1
+                    self._arm_retx()
+                    yield node.exec(costs.tcp_layer)
+                    yield from self.layer.stack.ipv4.output(
+                        self.remote[0], IPPROTO_TCP, hdr, b""
+                    )
+                else:
+                    break
+        finally:
+            self._pump_running = False
+            # Data may have been queued while the last output blocked.
+            self._kick_pump()
+
+    # ------------------------------------------------------------------
+    # Retransmission
+    # ------------------------------------------------------------------
+    def _arm_retx(self) -> None:
+        node = self.layer.stack.node
+        self._retx_deadline = node.sim.now + node.costs.tcp_rto
+        if not self._retx_running:
+            self._retx_running = True
+            node.spawn(self._retx_loop(), name="tcp-retx")
+
+    def _retx_loop(self):
+        node = self.layer.stack.node
+        sim = node.sim
+        costs = node.costs
+        try:
+            while self._retx_buf and self.state != CLOSED:
+                wait = self._retx_deadline - sim.now
+                if wait > 0:
+                    yield sim.timeout(wait)
+                    continue
+                # RTO expired: go-back-N, resend everything unacked with
+                # the original segment boundaries (the receiver's
+                # out-of-order buffer absorbs duplicates).
+                for seq, data, flags in list(self._retx_buf):
+                    if self.state == CLOSED:
+                        return
+                    hdr = self._make_header(flags, seq=seq)
+                    self.retransmissions += 1
+                    yield node.exec(costs.tcp_layer + costs.checksum_cost(len(data)))
+                    yield from self.layer.stack.ipv4.output(
+                        self.remote[0], IPPROTO_TCP, hdr, data
+                    )
+                self._retx_deadline = sim.now + costs.tcp_rto
+        finally:
+            self._retx_running = False
+            if self._retx_buf and self.state != CLOSED:
+                self._arm_retx()
+
+    def _prune_retx(self) -> None:
+        """Drop fully-acked segments from the retransmit buffer."""
+        while self._retx_buf:
+            seq, data, flags = self._retx_buf[0]
+            consumed = len(data) + (1 if flags & (TCP_FIN | TCP_SYN) else 0)
+            if seq + consumed <= self.snd_una:
+                self._retx_buf.popleft()
+            else:
+                break
+        if self._retx_buf:
+            # Progress restarts the timer (RFC 6298 5.3).
+            node = self.layer.stack.node
+            self._retx_deadline = node.sim.now + node.costs.tcp_rto
+
+    def _take_from_send_buf(self, size: int) -> bytes:
+        chunks: list[bytes] = []
+        taken = 0
+        while taken < size:
+            head = self._send_buf[0]
+            want = size - taken
+            if len(head) <= want:
+                chunks.append(self._send_buf.popleft())
+                taken += len(head)
+            else:
+                chunks.append(head[:want])
+                self._send_buf[0] = head[want:]
+                taken += want
+        self._send_buf_bytes -= taken
+        return b"".join(chunks)
+
+    def _wake_send_space(self) -> None:
+        while self._send_space_waiters and self._send_buf_bytes < self.sndbuf:
+            waiter = self._send_space_waiters.popleft()
+            if not waiter.triggered:
+                waiter.succeed()
+
+    def _advertised_window(self) -> int:
+        return max(0, self.rcvbuf - self._recv_buf_bytes)
+
+    def _make_header(self, flags: int, seq: int) -> TcpHeader:
+        return TcpHeader(
+            sport=self.local[1],
+            dport=self.remote[1],
+            seq=seq & 0xFFFFFFFF,
+            ack=self.rcv_nxt & 0xFFFFFFFF,
+            flags=flags,
+            window=self._advertised_window() >> WINDOW_SCALE,
+        )
+
+    # ------------------------------------------------------------------
+    # Segment arrival (generator, softirq context)
+    # ------------------------------------------------------------------
+    def on_segment(self, packet: Packet):
+        """Process one arriving segment (generator, softirq context)."""
+        node = self.layer.stack.node
+        costs = node.costs
+        hdr: TcpHeader = packet.l4
+        data = packet.payload
+        yield node.exec(costs.tcp_layer + costs.checksum_cost(len(data)))
+        self.segments_received += 1
+
+        # -- handshake transitions ------------------------------------
+        if self.state == SYN_SENT:
+            if hdr.flags & TCP_SYN and hdr.flags & TCP_ACK:
+                self.rcv_nxt = hdr.seq + 1
+                self.snd_una = hdr.ack
+                self.peer_window = hdr.window << WINDOW_SCALE
+                self.state = ESTABLISHED
+                yield from self._send_pure_ack()
+                if not self.established.triggered:
+                    self.established.succeed()
+            return
+        if self.state == SYN_RCVD:
+            if hdr.flags & TCP_ACK and hdr.ack >= self.snd_nxt:
+                self.snd_una = hdr.ack
+                self.peer_window = hdr.window << WINDOW_SCALE
+                self.state = ESTABLISHED
+                if not self.established.triggered:
+                    self.established.succeed()
+                self.layer._deliver_to_accept_queue(self)
+                # The final handshake ACK may carry data (or a FIN race);
+                # fall through to normal processing.
+            else:
+                return
+
+        if hdr.flags & TCP_SYN:
+            # Duplicate SYN/SYN-ACK (our handshake ACK was lost): re-ack
+            # so the peer can stop retransmitting.
+            yield from self._send_pure_ack()
+            return
+
+        # -- ACK processing --------------------------------------------
+        if hdr.flags & TCP_ACK:
+            if hdr.ack > self.snd_una:
+                self.snd_una = hdr.ack
+                self._prune_retx()
+            self.peer_window = hdr.window << WINDOW_SCALE
+            self._wake_send_space()
+            if self._fin_sent and self.snd_una >= self.snd_nxt:
+                if self.state == LAST_ACK:
+                    self._become_closed()
+                elif self.state == FIN_WAIT and self.eof:
+                    self._become_closed()
+            self._kick_pump()
+
+        # -- data -------------------------------------------------------
+        got_payload = len(data) > 0
+        fin = bool(hdr.flags & TCP_FIN)
+        if got_payload or fin:
+            seq = hdr.seq
+            if got_payload:
+                if seq == self.rcv_nxt:
+                    self._accept_data(data)
+                    self._drain_ooo()
+                elif seq > self.rcv_nxt:
+                    self._ooo[seq] = data
+                # seq < rcv_nxt: duplicate; ignore.
+            if fin:
+                fin_seq = seq + len(data)
+                if fin_seq == self.rcv_nxt and not self.eof:
+                    self.rcv_nxt += 1
+                    self._set_eof()
+                elif fin_seq > self.rcv_nxt:
+                    self._ooo[fin_seq] = _FIN_SENTINEL
+            # Wake the blocked reader before generating the ACK -- the
+            # wakeup is what the RR benchmarks' latency rides on.
+            yield node.exec(costs.process_wakeup)
+            self._wake_receivers()
+            yield from self._send_pure_ack()
+
+    def _accept_data(self, data: bytes) -> None:
+        self.rcv_nxt += len(data)
+        self.bytes_received += len(data)
+        self._recv_buf.append(data)
+        self._recv_buf_bytes += len(data)
+
+    def _drain_ooo(self) -> None:
+        while True:
+            nxt = self._ooo.pop(self.rcv_nxt, None)
+            if nxt is None:
+                return
+            if nxt is _FIN_SENTINEL:
+                self.rcv_nxt += 1
+                self._set_eof()
+                return
+            self._accept_data(nxt)
+
+    def _set_eof(self) -> None:
+        self.eof = True
+        if self.state == ESTABLISHED:
+            self.state = CLOSE_WAIT
+        elif self.state == FIN_WAIT and self._fin_sent and self.snd_una >= self.snd_nxt:
+            self._become_closed()
+        self._wake_receivers()
+
+    def _become_closed(self) -> None:
+        if self.state == CLOSED:
+            return
+        self.state = CLOSED
+        self.layer._forget(self)
+        if not self.closed_event.triggered:
+            self.closed_event.succeed()
+        self._wake_receivers()
+        while self._send_space_waiters:
+            waiter = self._send_space_waiters.popleft()
+            if not waiter.triggered:
+                waiter.succeed()
+
+    def _wake_receivers(self) -> None:
+        while self._recv_waiters:
+            waiter = self._recv_waiters.popleft()
+            if not waiter.triggered:
+                waiter.succeed()
+                break
+
+    def _send_pure_ack(self):
+        node = self.layer.stack.node
+        hdr = self._make_header(TCP_ACK, seq=self.snd_nxt)
+        yield node.exec(node.costs.tcp_layer)
+        yield from self.layer.stack.ipv4.output(self.remote[0], IPPROTO_TCP, hdr, b"")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<TcpConnection {self.local[0]}:{self.local[1]} -> "
+            f"{self.remote[0]}:{self.remote[1]} {self.state}>"
+        )
+
+
+class TcpListener:
+    """Passive socket: accepts incoming connections on a port.
+
+    Accepted connections inherit the listener's buffer sizes, as with
+    real sockets."""
+
+    def __init__(
+        self,
+        layer: "TcpLayer",
+        port: int,
+        backlog: int = 16,
+        sndbuf: int = 262144,
+        rcvbuf: int = 262144,
+    ):
+        self.layer = layer
+        self.port = port
+        self.backlog = backlog
+        self.sndbuf = sndbuf
+        self.rcvbuf = rcvbuf
+        self._ready: deque[TcpConnection] = deque()
+        self._accept_waiters: deque = deque()
+        self.closed = False
+
+    def accept(self):
+        """Wait for and return an ESTABLISHED connection (generator)."""
+        node = self.layer.stack.node
+        yield node.exec(node.costs.syscall)
+        while not self._ready:
+            waiter = node.sim.event(name=f"accept:{self.port}")
+            self._accept_waiters.append(waiter)
+            yield waiter
+        return self._ready.popleft()
+
+    def close(self) -> None:
+        """Stop listening (queued-but-unaccepted connections are kept)."""
+        self.closed = True
+        self.layer.listeners.pop(self.port, None)
+
+    def _offer(self, conn: TcpConnection) -> None:
+        if len(self._ready) >= self.backlog:
+            return  # silently dropped; peer is stuck, as with real overflow
+        self._ready.append(conn)
+        while self._accept_waiters:
+            waiter = self._accept_waiters.popleft()
+            if not waiter.triggered:
+                waiter.succeed()
+                break
+
+
+class TcpLayer:
+    """Per-stack TCP: listeners, connection demux, ephemeral ports."""
+    def __init__(self, stack: "NetworkStack"):
+        self.stack = stack
+        stack.ipv4.register_protocol(IPPROTO_TCP, self.input)
+        self.connections: dict[tuple, TcpConnection] = {}
+        self.listeners: dict[int, TcpListener] = {}
+        self._next_ephemeral = EPHEMERAL_BASE
+        self.rx_no_match = 0
+
+    # -- API ----------------------------------------------------------
+    def listen(self, port: int, backlog: int = 16, sndbuf: int = 262144,
+               rcvbuf: int = 262144) -> TcpListener:
+        """Open a passive socket; accepted connections inherit the buffers."""
+        if port in self.listeners:
+            raise OSError(f"TCP port {port} already listening")
+        listener = TcpListener(self, port, backlog, sndbuf=sndbuf, rcvbuf=rcvbuf)
+        self.listeners[port] = listener
+        return listener
+
+    def connect(self, remote: tuple[IPv4Addr, int], sndbuf: int = 262144, rcvbuf: int = 262144):
+        """Active open (generator).  Returns the ESTABLISHED connection."""
+        node = self.stack.node
+        local = (self.stack.ip, self._alloc_ephemeral())
+        conn = TcpConnection(self, local, remote, sndbuf=sndbuf, rcvbuf=rcvbuf)
+        key = (remote[0], remote[1], local[1])
+        self.connections[key] = conn
+        conn.state = SYN_SENT
+        hdr = conn._make_header(TCP_SYN, seq=conn.snd_nxt)
+        conn._retx_buf.append((conn.snd_nxt, b"", TCP_SYN))
+        conn.snd_nxt += 1  # SYN consumes a sequence number
+        conn._arm_retx()
+        yield node.exec(node.costs.syscall + node.costs.tcp_layer)
+        yield from self.stack.ipv4.output(remote[0], IPPROTO_TCP, hdr, b"")
+        yield conn.established
+        return conn
+
+    def _alloc_ephemeral(self) -> int:
+        for _ in range(65536 - EPHEMERAL_BASE):
+            port = self._next_ephemeral
+            self._next_ephemeral += 1
+            if self._next_ephemeral >= 65536:
+                self._next_ephemeral = EPHEMERAL_BASE
+            if not any(k[2] == port for k in self.connections):
+                return port
+        raise OSError("out of ephemeral TCP ports")
+
+    # -- demux ----------------------------------------------------------
+    def input(self, packet: Packet):
+        """Softirq-side segment demultiplexing (generator)."""
+        hdr: TcpHeader = packet.l4
+        key = (packet.ip.src, hdr.sport, hdr.dport)
+        conn = self.connections.get(key)
+        if conn is not None:
+            yield from conn.on_segment(packet)
+            return
+        listener = self.listeners.get(hdr.dport)
+        if listener is not None and hdr.flags & TCP_SYN and not hdr.flags & TCP_ACK:
+            yield from self._passive_open(listener, packet)
+            return
+        self.rx_no_match += 1
+
+    def _passive_open(self, listener: TcpListener, packet: Packet):
+        node = self.stack.node
+        hdr: TcpHeader = packet.l4
+        local = (self.stack.ip, hdr.dport)
+        remote = (packet.ip.src, hdr.sport)
+        conn = TcpConnection(
+            self, local, remote, sndbuf=listener.sndbuf, rcvbuf=listener.rcvbuf
+        )
+        self.connections[(remote[0], remote[1], local[1])] = conn
+        conn.state = SYN_RCVD
+        conn.rcv_nxt = hdr.seq + 1
+        conn.peer_window = hdr.window << WINDOW_SCALE
+        synack = conn._make_header(TCP_SYN | TCP_ACK, seq=conn.snd_nxt)
+        conn._retx_buf.append((conn.snd_nxt, b"", TCP_SYN | TCP_ACK))
+        conn.snd_nxt += 1
+        conn._arm_retx()
+        yield node.exec(node.costs.tcp_layer)
+        yield from self.stack.ipv4.output(remote[0], IPPROTO_TCP, synack, b"")
+
+    def _deliver_to_accept_queue(self, conn: TcpConnection) -> None:
+        listener = self.listeners.get(conn.local[1])
+        if listener is not None:
+            listener._offer(conn)
+
+    def _forget(self, conn: TcpConnection) -> None:
+        key = (conn.remote[0], conn.remote[1], conn.local[1])
+        self.connections.pop(key, None)

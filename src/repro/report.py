@@ -1,0 +1,77 @@
+"""Table and series formatting for benchmark output.
+
+Renders results in the same row/column layout as the paper's Tables 1-3
+and prints figure series as aligned columns, so a bench run can be
+compared against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+__all__ = ["format_series", "format_table", "ratio"]
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Iterable[tuple[str, Mapping[str, float]]],
+    unit_by_row: Optional[Mapping[str, str]] = None,
+    precision: int = 1,
+) -> str:
+    """Render rows of {column: value} as an aligned ASCII table."""
+    unit_by_row = unit_by_row or {}
+    header = ["metric"] + list(columns)
+    body: list[list[str]] = []
+    for label, values in rows:
+        unit = unit_by_row.get(label, "")
+        shown = f"{label} ({unit})" if unit else label
+        row = [shown]
+        for col in columns:
+            value = values.get(col)
+            row.append("-" if value is None else f"{value:,.{precision}f}")
+        body.append(row)
+    widths = [max(len(r[i]) for r in [header] + body) for i in range(len(header))]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for row in body:
+        lines.append(
+            "  ".join(
+                cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+                for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    xs: Sequence,
+    series: Mapping[str, Sequence[float]],
+    precision: int = 1,
+) -> str:
+    """Render one figure: x column plus one column per scenario."""
+    names = list(series)
+    header = [x_label] + names
+    body = []
+    for i, x in enumerate(xs):
+        row = [str(x)]
+        for name in names:
+            ys = series[name]
+            row.append(f"{ys[i]:,.{precision}f}" if i < len(ys) else "-")
+        body.append(row)
+    widths = [max(len(r[i]) for r in [header] + body) for i in range(len(header))]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.rjust(widths[i]) for i, h in enumerate(header)))
+    for row in body:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def ratio(a: float, b: float) -> float:
+    """Safe ratio a/b used for paper-vs-measured factor comparisons."""
+    if b == 0:
+        raise ValueError("ratio denominator is zero")
+    return a / b

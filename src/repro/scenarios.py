@@ -1,0 +1,298 @@
+"""The four communication scenarios of the paper's evaluation (Sect. 4).
+
+* ``inter_machine``     -- two native hosts across a 1 Gbps switch.
+* ``netfront_netback``  -- two guests on one Xen machine, standard path.
+* ``xenloop``           -- same, with the XenLoop module in both guests
+  and the discovery module in Dom0.
+* ``native_loopback``   -- two processes on one non-virtualized host
+  over the local loopback interface (the baseline ceiling).
+
+Each builder returns a :class:`Scenario` exposing the two communication
+endpoints plus ``warmup()``, which drives ARP resolution (and, for the
+XenLoop scenario, discovery + channel bootstrap) to completion so that
+measurements start from the steady state the paper's numbers reflect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.calibration import DEFAULT_COSTS, CostModel
+from repro.core.channel import ChannelState
+from repro.core.discovery import DiscoveryModule
+from repro.core.module import XenLoopModule
+from repro.net.addr import IPv4Addr, MacAddr
+from repro.net.nic import EthernetSwitch, PhysNIC
+from repro.net.node import Node
+from repro.net.stack import NetworkStack
+from repro.sim.engine import SimulationError, Simulator
+from repro.xen.machine import Machine, XenMachine
+
+__all__ = [
+    "Scenario",
+    "SCENARIO_BUILDERS",
+    "build",
+    "inter_machine",
+    "native_loopback",
+    "netfront_netback",
+    "xenloop",
+]
+
+
+@dataclass
+class Scenario:
+    """A built evaluation topology plus its measurement endpoints."""
+    name: str
+    sim: Simulator
+    costs: CostModel
+    #: the two communication endpoints (may be the same node for loopback).
+    node_a: Node
+    node_b: Node
+    ip_a: IPv4Addr
+    ip_b: IPv4Addr
+    machines: list = field(default_factory=list)
+    switch: Optional[EthernetSwitch] = None
+    modules: dict = field(default_factory=dict)  # node name -> XenLoopModule
+    discovery: Optional[DiscoveryModule] = None
+    #: whether warmup() should wait for XenLoop channels to connect
+    #: (False for topologies whose endpoints start on different machines).
+    expect_channels: bool = True
+
+    def warmup(self, max_wait: float = 30.0) -> None:
+        """Run the simulation until the data path is in steady state."""
+        self._ping_once()
+        if not self.modules or not self.expect_channels:
+            return
+        deadline = self.sim.now + max_wait
+        while self.sim.now < deadline:
+            if self._channels_connected():
+                return
+            # Discovery announcements arrive every discovery_period; each
+            # ping after an announcement triggers channel bootstrap.
+            self.sim.run(until=self.sim.now + self.costs.discovery_period / 4)
+            self._ping_once()
+        raise SimulationError(f"{self.name}: XenLoop channels never connected")
+
+    def _ping_once(self) -> None:
+        stack = self.node_a.stack
+
+        def _gen():
+            ident = stack.icmp.alloc_ident()
+            waiter = yield from stack.icmp.send_echo(self.ip_b, ident, 0)
+            yield self.sim.any_of([waiter, self.sim.timeout(1.0)])
+
+        proc = self.sim.process(_gen(), name="warmup-ping")
+        self.sim.run_until_complete(proc, timeout=5.0)
+
+    def _channels_connected(self) -> bool:
+        if not self.modules:
+            return True
+        for module in self.modules.values():
+            if not any(
+                ch.state is ChannelState.CONNECTED for ch in module.channels.values()
+            ):
+                return False
+        return True
+
+    def xenloop_module(self, node: Node) -> Optional[XenLoopModule]:
+        """The XenLoop module loaded in ``node``, if any."""
+        return self.modules.get(node.name)
+
+
+_IP_A = IPv4Addr("10.0.0.1")
+_IP_B = IPv4Addr("10.0.0.2")
+
+
+def native_loopback(costs: CostModel = DEFAULT_COSTS, seed: int = 0) -> Scenario:
+    """Two processes on one non-virtualized host, via the loopback device."""
+    sim = Simulator(seed=seed)
+    machine = Machine(sim, costs, "host", n_cores=2)
+    host = Node(sim, machine.cpus, costs, "host")
+    NetworkStack(host, _IP_A)
+    return Scenario(
+        name="native_loopback",
+        sim=sim,
+        costs=costs,
+        node_a=host,
+        node_b=host,
+        ip_a=_IP_A,
+        ip_b=_IP_A,  # loopback: both endpoints are the same address
+        machines=[machine],
+    )
+
+
+def inter_machine(costs: CostModel = DEFAULT_COSTS, seed: int = 0) -> Scenario:
+    """Two native machines across a 1 Gbps Ethernet switch."""
+    sim = Simulator(seed=seed)
+    switch = EthernetSwitch(sim, costs)
+    nodes = []
+    for i, ip in enumerate((_IP_A, _IP_B)):
+        machine = Machine(sim, costs, f"m{i}", n_cores=2)
+        node = Node(sim, machine.cpus, costs, f"host{i}")
+        NetworkStack(node, ip)
+        nic = PhysNIC(node, costs, f"host{i}.eth0", MacAddr(0x0002B3000001 + i))
+        nic.connect(switch)
+        node.stack.add_device(nic, primary=True)
+        nodes.append((machine, node))
+    return Scenario(
+        name="inter_machine",
+        sim=sim,
+        costs=costs,
+        node_a=nodes[0][1],
+        node_b=nodes[1][1],
+        ip_a=_IP_A,
+        ip_b=_IP_B,
+        machines=[m for m, _ in nodes],
+        switch=switch,
+    )
+
+
+def _xen_pair(costs: CostModel, seed: int = 0):
+    sim = Simulator(seed=seed)
+    machine = XenMachine(sim, costs, "xenhost", n_cores=2)
+    vm1 = machine.create_guest("vm1", ip=_IP_A)
+    vm2 = machine.create_guest("vm2", ip=_IP_B)
+    return sim, machine, vm1, vm2
+
+
+def netfront_netback(costs: CostModel = DEFAULT_COSTS, seed: int = 0) -> Scenario:
+    """Co-resident guests over the standard split-driver path via Dom0."""
+    sim, machine, vm1, vm2 = _xen_pair(costs, seed)
+    return Scenario(
+        name="netfront_netback",
+        sim=sim,
+        costs=costs,
+        node_a=vm1,
+        node_b=vm2,
+        ip_a=_IP_A,
+        ip_b=_IP_B,
+        machines=[machine],
+    )
+
+
+def xenloop(
+    costs: CostModel = DEFAULT_COSTS,
+    seed: int = 0,
+    fifo_order: int = 13,
+    zero_copy_rx: bool = False,
+    socket_bypass: bool = False,
+) -> Scenario:
+    """Co-resident guests with XenLoop loaded (64 KB FIFOs by default).
+
+    ``socket_bypass=True`` loads the experimental transport-layer
+    variant (the paper's future work) instead of the base module.
+    """
+    sim, machine, vm1, vm2 = _xen_pair(costs, seed)
+    if socket_bypass:
+        from repro.core.socket_bypass import SocketBypassModule as module_cls
+    else:
+        module_cls = XenLoopModule
+    modules = {
+        vm1.name: module_cls(vm1, fifo_order=fifo_order, zero_copy_rx=zero_copy_rx),
+        vm2.name: module_cls(vm2, fifo_order=fifo_order, zero_copy_rx=zero_copy_rx),
+    }
+    discovery = DiscoveryModule(machine)
+    return Scenario(
+        name="xenloop",
+        sim=sim,
+        costs=costs,
+        node_a=vm1,
+        node_b=vm2,
+        ip_a=_IP_A,
+        ip_b=_IP_B,
+        machines=[machine],
+        modules=modules,
+        discovery=discovery,
+    )
+
+
+def xenloop_mesh(
+    n_guests: int,
+    costs: CostModel = DEFAULT_COSTS,
+    seed: int = 0,
+) -> Scenario:
+    """``n_guests`` co-resident guests, XenLoop loaded in all of them.
+
+    Channels form lazily and pairwise on first traffic, so a full mesh
+    emerges only between guests that actually talk.  ``node_a``/``node_b``
+    are the first two guests; the rest are in ``machines[0].guests``.
+    """
+    if n_guests < 2:
+        raise ValueError("a mesh needs at least two guests")
+    sim = Simulator(seed=seed)
+    machine = XenMachine(sim, costs, "xenhost", n_cores=2)
+    guests = [
+        machine.create_guest(f"vm{i + 1}", ip=IPv4Addr(f"10.0.0.{i + 1}"))
+        for i in range(n_guests)
+    ]
+    modules = {g.name: XenLoopModule(g) for g in guests}
+    discovery = DiscoveryModule(machine)
+    return Scenario(
+        name="xenloop_mesh",
+        sim=sim,
+        costs=costs,
+        node_a=guests[0],
+        node_b=guests[1],
+        ip_a=guests[0].ip,
+        ip_b=guests[1].ip,
+        machines=[machine],
+        modules=modules,
+        discovery=discovery,
+        # warmup() only drives a<->b; the other pairs connect on their
+        # own first traffic.
+        expect_channels=False,
+    )
+
+
+def migration_pair(costs: CostModel = DEFAULT_COSTS, seed: int = 0) -> Scenario:
+    """Two Xen machines on a switch, one guest each, XenLoop loaded on
+    both guests and discovery in both Dom0s -- the Fig. 11 topology.
+
+    ``node_b`` (vm2, on machine B) is the guest that migrates.
+    """
+    sim = Simulator(seed=seed)
+    switch = EthernetSwitch(sim, costs)
+    machine_a = XenMachine(sim, costs, "xenA", n_cores=2)
+    machine_b = XenMachine(sim, costs, "xenB", n_cores=2)
+    machine_a.attach_network(switch, MacAddr("00:02:b3:aa:00:01"))
+    machine_b.attach_network(switch, MacAddr("00:02:b3:bb:00:01"))
+    vm1 = machine_a.create_guest("vm1", ip=_IP_A)
+    vm2 = machine_b.create_guest("vm2", ip=_IP_B)
+    modules = {
+        vm1.name: XenLoopModule(vm1),
+        vm2.name: XenLoopModule(vm2),
+    }
+    discovery = DiscoveryModule(machine_a)
+    DiscoveryModule(machine_b)
+    return Scenario(
+        name="migration_pair",
+        sim=sim,
+        costs=costs,
+        node_a=vm1,
+        node_b=vm2,
+        ip_a=_IP_A,
+        ip_b=_IP_B,
+        machines=[machine_a, machine_b],
+        switch=switch,
+        modules=modules,
+        discovery=discovery,
+        expect_channels=False,
+    )
+
+
+SCENARIO_BUILDERS = {
+    "inter_machine": inter_machine,
+    "netfront_netback": netfront_netback,
+    "xenloop": xenloop,
+    "native_loopback": native_loopback,
+}
+
+
+def build(name: str, costs: CostModel = DEFAULT_COSTS, **kwargs) -> Scenario:
+    """Build a scenario by name (see SCENARIO_BUILDERS)."""
+    try:
+        builder = SCENARIO_BUILDERS[name]
+    except KeyError:
+        raise ValueError(f"unknown scenario {name!r}; choose from {sorted(SCENARIO_BUILDERS)}")
+    return builder(costs, **kwargs)

@@ -1,0 +1,43 @@
+"""Discrete-event simulation substrate.
+
+Everything in the reproduction runs on this engine: Xen domains, network
+stacks, drivers, the XenLoop module, and the benchmark workloads are all
+:class:`~repro.sim.engine.Process` instances scheduled by a single
+:class:`~repro.sim.engine.Simulator`.
+
+The engine follows the classic event-calendar design (a binary heap of
+timestamped events) with SimPy-style generator processes: a process is a
+Python generator that *yields* events; the engine resumes the generator
+when the yielded event fires.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.sim.resources import CPUCores, Resource, Store
+from repro.sim.stats import Counter, LatencyProbe, ThroughputProbe, TimeSeries
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "CPUCores",
+    "Counter",
+    "Event",
+    "Interrupt",
+    "LatencyProbe",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "ThroughputProbe",
+    "TimeSeries",
+    "Timeout",
+]

@@ -1,0 +1,406 @@
+"""Core discrete-event simulation engine.
+
+The engine is deliberately small and dependency-free.  It provides:
+
+* :class:`Simulator` -- the event calendar and main loop.
+* :class:`Event` -- a one-shot occurrence that processes can wait on.
+* :class:`Timeout` -- an event that fires after a simulated delay.
+* :class:`Process` -- a generator-based coroutine driven by the engine.
+* :class:`AnyOf` / :class:`AllOf` -- composite wait conditions.
+* :class:`Interrupt` -- exception injected into a process by
+  :meth:`Process.interrupt`.
+
+Time is a float in **seconds**.  Events scheduled for the same instant
+fire in FIFO order of scheduling (a monotonically increasing sequence
+number breaks heap ties), which makes simulations fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]
+
+
+class SimulationError(Exception):
+    """Raised for engine misuse (e.g. triggering an event twice)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event lifecycle states.
+PENDING = 0
+TRIGGERED = 1  # scheduled on the calendar, callbacks not yet run
+PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A one-shot occurrence.
+
+    Processes wait on an event by yielding it.  Code triggers it with
+    :meth:`succeed` or :meth:`fail`.  Once processed an event holds its
+    ``value`` (or the exception) forever; waiting on an already-processed
+    event resumes the waiter immediately.
+    """
+
+    __slots__ = ("sim", "callbacks", "_state", "_value", "_ok", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._state = PENDING
+        self._value: Any = None
+        self._ok = True
+        self.name = name
+
+    # -- inspection ---------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._state >= TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or stored exception); raises while pending."""
+        if self._state == PENDING:
+            raise SimulationError(f"event {self!r} has no value yet")
+        return self._value
+
+    # -- triggering ---------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire successfully after ``delay``."""
+        if self._state != PENDING:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._state = TRIGGERED
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire with an exception after ``delay``."""
+        if self._state != PENDING:
+            raise SimulationError(f"event {self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() needs an exception instance")
+        self._state = TRIGGERED
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, delay)
+        return self
+
+    # -- engine internals ----------------------------------------------
+    def _process(self) -> None:
+        self._state = PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = {PENDING: "pending", TRIGGERED: "triggered", PROCESSED: "processed"}
+        return f"<Event {self.name or hex(id(self))} {state[self._state]}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=f"timeout({delay})")
+        self.delay = delay
+        self._state = TRIGGERED
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf.  Fires when ``_check`` says it is satisfied."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = tuple(events)
+        self._count = 0
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("condition mixes events from different simulators")
+        # Register after validation so a raise leaves no dangling callbacks.
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._on_event(ev)
+            else:
+                ev.callbacks.append(self._on_event)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self.events if ev.processed and ev.ok}
+
+    def _on_event(self, ev: Event) -> None:
+        if self._state != PENDING:
+            return
+        if not ev.ok:
+            self.fail(ev._value)
+            return
+        self._count += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any constituent event fires."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= 1
+
+
+class AllOf(_Condition):
+    """Fires once every constituent event has fired."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= len(self.events)
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A coroutine driven by the simulator.
+
+    A process wraps a generator that yields :class:`Event` objects.  The
+    process itself is an event that fires (with the generator's return
+    value) when the generator finishes, so processes can wait on each
+    other simply by yielding them.
+    """
+
+    __slots__ = ("generator", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = ""):
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        if not hasattr(generator, "send"):
+            raise TypeError(f"Process needs a generator, got {generator!r}")
+        self.generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick off the process via an immediately-scheduled init event.
+        init = Event(sim, name=f"init:{self.name}")
+        init.callbacks.append(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._state == PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process is an error; interrupting a process
+        that is about to be resumed is handled gracefully (the interrupt
+        wins; the original event's value is discarded for this wakeup).
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name}")
+        ev = Event(self.sim, name=f"interrupt:{self.name}")
+        ev.callbacks.append(lambda _: self._resume_with_interrupt(cause))
+        ev.succeed()
+
+    # -- engine internals ----------------------------------------------
+    def _detach(self) -> None:
+        target = self._waiting_on
+        if target is not None and not target.processed:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+
+    def _resume_with_interrupt(self, cause: Any) -> None:
+        if not self.is_alive:
+            return  # process finished before the interrupt event ran
+        self._detach()
+        self._step(lambda: self.generator.throw(Interrupt(cause)))
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event.ok:
+            self._step(lambda: self.generator.send(event._value))
+        else:
+            self._step(lambda: self.generator.throw(event._value))
+
+    def _step(self, advance: Callable[[], Event]) -> None:
+        sim = self.sim
+        prev = sim.active_process
+        sim.active_process = self
+        try:
+            target = advance()
+        except StopIteration as stop:
+            sim.active_process = prev
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            sim.active_process = prev
+            if sim.strict:
+                raise
+            self.fail(exc)
+            return
+        sim.active_process = prev
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name} yielded {target!r}; processes must yield Events"
+            )
+        if target.processed:
+            # Already-fired event: resume on the next scheduling round.
+            bounce = Event(sim, name="bounce")
+            bounce.callbacks.append(lambda _: self._resume(target))
+            bounce.succeed()
+            self._waiting_on = None
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+
+class Simulator:
+    """Event calendar and main loop.
+
+    Parameters
+    ----------
+    strict:
+        When True (the default), an uncaught exception inside a process
+        propagates out of :meth:`run` immediately -- the right behaviour
+        for tests.  When False the exception is stored on the process
+        event, mimicking SimPy's behaviour for supervised process trees.
+    """
+
+    def __init__(self, strict: bool = True, seed: int = 0):
+        self.now: float = 0.0
+        self.strict = strict
+        self.active_process: Optional[Process] = None
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._seed = seed
+        self._rng = None
+
+    @property
+    def rng(self):
+        """Seeded numpy Generator shared by all stochastic model elements
+        (lazily created so pure-logic simulations never touch numpy RNG)."""
+        if self._rng is None:
+            from repro.sim.rng import make_rng
+
+            self._rng = make_rng(self._seed)
+        return self._rng
+
+    # -- event factories ------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a pending event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Run a generator as a concurrent process."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when any constituent fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when every constituent has fired."""
+        return AllOf(self, events)
+
+    # -- scheduling -----------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf when idle."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        when, _, event = heapq.heappop(self._queue)
+        self.now = when
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the calendar empties or ``until`` is reached.
+
+        When ``until`` is given, ``now`` is advanced to exactly ``until``
+        even if the last event fires earlier, so back-to-back ``run``
+        calls compose like wall-clock intervals.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(f"until={until} is in the past (now={self.now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self.now = until
+
+    def run_until_complete(self, process: Process, timeout: Optional[float] = None) -> Any:
+        """Run until ``process`` finishes and return its value.
+
+        Raises the process's exception if it failed, and
+        :class:`SimulationError` if the calendar empties (or ``timeout``
+        simulated seconds elapse) before it finishes.
+        """
+        deadline = None if timeout is None else self.now + timeout
+        while not process.triggered:
+            if not self._queue:
+                raise SimulationError(f"deadlock: {process.name} never finished")
+            if deadline is not None and self._queue[0][0] > deadline:
+                raise SimulationError(f"timeout waiting for {process.name}")
+            self.step()
+        if not process.ok:
+            raise process.value
+        return process.value

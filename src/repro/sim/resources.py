@@ -1,0 +1,227 @@
+"""Shared-resource primitives built on the event engine.
+
+* :class:`Resource` -- counting semaphore with FIFO fairness.
+* :class:`Store` -- FIFO item buffer with blocking get (and optional
+  bounded capacity with blocking put).
+* :class:`CPUCores` -- the physical-CPU model: ``n`` identical cores
+  executing work segments on behalf of *domains*, charging a
+  domain-switch penalty whenever a core switches from one domain to
+  another.  This penalty is how the simulation reproduces the
+  TLB/cache-miss overhead the paper attributes to excessive switching
+  between guest domains and the driver domain (Sect. 2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Hashable, Optional
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+__all__ = ["CPUCores", "Resource", "Store"]
+
+
+class Resource:
+    """Counting semaphore.  ``yield res.acquire()`` ... ``res.release()``."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    def acquire(self) -> Event:
+        """Request a unit; the returned event fires when granted."""
+        ev = self.sim.event(name="resource.acquire")
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Return a unit, admitting the oldest waiter if any."""
+        if self.in_use <= 0:
+            raise SimulationError("release of an idle resource")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self.in_use -= 1
+
+    @property
+    def queued(self) -> int:
+        """Number of acquirers currently waiting."""
+        return len(self._waiters)
+
+
+class Store:
+    """FIFO item buffer.
+
+    ``put`` appends an item; when ``capacity`` is bounded and the buffer
+    is full, the returned event fires only once space frees up.  ``get``
+    returns an event that fires with the oldest item.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 or None")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Append an item; blocks (event pending) while a bounded store is full."""
+        ev = self.sim.event(name="store.put")
+        if self._getters:
+            # Hand the item straight to the oldest waiting getter.
+            self._getters.popleft().succeed(item)
+            ev.succeed()
+        elif self.capacity is None or len(self.items) < self.capacity:
+            self.items.append(item)
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False when a bounded store is full."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if self.capacity is not None and len(self.items) >= self.capacity:
+            return False
+        self.items.append(item)
+        return True
+
+    def get(self) -> Event:
+        """Take the oldest item; the event fires when one is available."""
+        ev = self.sim.event(name="store.get")
+        if self.items:
+            ev.succeed(self.items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get; returns ``(found, item)``."""
+        if self.items:
+            item = self.items.popleft()
+            self._admit_putter()
+            return True, item
+        return False, None
+
+    def _admit_putter(self) -> None:
+        if self._putters:
+            ev, item = self._putters.popleft()
+            self.items.append(item)
+            ev.succeed()
+
+
+class _Core:
+    __slots__ = ("index", "busy", "last_domain")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.busy = False
+        self.last_domain: Optional[Hashable] = None
+
+
+class CPUCores:
+    """``n`` identical cores shared by simulation *domains*.
+
+    Work is submitted with :meth:`execute`, which returns an event firing
+    when the segment completes.  Scheduling is FIFO with one twist: a
+    free core that last ran the requesting domain is preferred, and when
+    no such core exists the segment pays ``switch_penalty`` extra --
+    modelling the TLB/cache refill cost of a domain switch.
+
+    This is intentionally simpler than Xen's credit scheduler; the
+    quantity that matters for the paper's evaluation is the *count and
+    cost of domain switches* on the data path, which this captures.
+    """
+
+    def __init__(self, sim: Simulator, n_cores: int, switch_penalty: float = 0.0):
+        if n_cores < 1:
+            raise ValueError("need at least one core")
+        self.sim = sim
+        self.cores = [_Core(i) for i in range(n_cores)]
+        self.switch_penalty = switch_penalty
+        self._queue: Deque[tuple[Hashable, float, Event]] = deque()
+        #: per-domain vCPU limits: at most N segments of a domain's work
+        #: run concurrently (guests in the paper's testbed are 1-vCPU;
+        #: Dom0 and native hosts get all cores).
+        self._vcpu_limit: dict[Hashable, int] = {}
+        self._running: dict[Hashable, int] = {}
+        self.total_busy_time = 0.0
+        self.total_switches = 0
+
+    def set_vcpu_limit(self, domain: Hashable, n: int) -> None:
+        """Cap a domain's concurrent segments (its vCPU count)."""
+        if n < 1:
+            raise ValueError("vCPU limit must be >= 1")
+        self._vcpu_limit[domain] = n
+
+    def _may_run(self, domain: Hashable) -> bool:
+        limit = self._vcpu_limit.get(domain)
+        return limit is None or self._running.get(domain, 0) < limit
+
+    def execute(self, domain: Hashable, cost: float) -> Event:
+        """Run ``cost`` seconds of work for ``domain``; event fires at end."""
+        if cost < 0:
+            raise ValueError(f"negative work cost: {cost}")
+        done = self.sim.event(name=f"cpu:{domain}")
+        core = self._pick_core(domain) if self._may_run(domain) else None
+        if core is not None:
+            self._start(core, domain, cost, done)
+        else:
+            self._queue.append((domain, cost, done))
+        return done
+
+    @property
+    def queued(self) -> int:
+        """Work segments waiting for a core or a vCPU slot."""
+        return len(self._queue)
+
+    def _pick_core(self, domain: Hashable) -> Optional[_Core]:
+        best = None
+        for core in self.cores:
+            if core.busy:
+                continue
+            if core.last_domain == domain:
+                return core
+            if best is None:
+                best = core
+        return best
+
+    def _start(self, core: _Core, domain: Hashable, cost: float, done: Event) -> None:
+        total = cost
+        if core.last_domain is not None and core.last_domain != domain:
+            total += self.switch_penalty
+            self.total_switches += 1
+        core.busy = True
+        core.last_domain = domain
+        self._running[domain] = self._running.get(domain, 0) + 1
+        self.total_busy_time += total
+        timer = self.sim.timeout(total)
+        timer.callbacks.append(lambda _: self._finish(core, domain, done))
+
+    def _finish(self, core: _Core, domain: Hashable, done: Event) -> None:
+        core.busy = False
+        self._running[domain] -= 1
+        # Admit the first queued segment whose domain is under its limit.
+        for i, (qdomain, cost, ev) in enumerate(self._queue):
+            if self._may_run(qdomain):
+                del self._queue[i]
+                chosen = self._pick_core(qdomain) or core
+                self._start(chosen, qdomain, cost, ev)
+                break
+        done.succeed()

@@ -1,0 +1,23 @@
+"""Seeded randomness helpers.
+
+All stochastic behaviour in the simulation draws from a generator
+obtained here so that every scenario run is reproducible from a single
+seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng"]
+
+DEFAULT_SEED = 0x5EED
+
+
+def make_rng(seed: int | None = None) -> np.random.Generator:
+    """Return a numpy Generator seeded deterministically.
+
+    ``None`` maps to the project-wide default seed (not OS entropy) --
+    simulations must be reproducible by default.
+    """
+    return np.random.default_rng(DEFAULT_SEED if seed is None else seed)

@@ -1,0 +1,152 @@
+"""Measurement probes used by workloads and benchmarks.
+
+These are plain accumulators -- they never schedule events -- so probing
+is free of simulation side effects.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+__all__ = ["Counter", "LatencyProbe", "ThroughputProbe", "TimeSeries", "summarize"]
+
+
+class Counter:
+    """Named monotonically increasing counter."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        """Increment by ``n`` (must be non-negative)."""
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Counter({self.name}={self.value})"
+
+
+class TimeSeries:
+    """(time, value) samples, e.g. transactions/sec during migration."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, t: float, value: float) -> None:
+        """Append one (time, value) sample; times must not go backwards."""
+        if self.times and t < self.times[-1]:
+            raise ValueError("samples must be recorded in time order")
+        self.times.append(t)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+
+class LatencyProbe:
+    """Accumulates per-operation latencies (seconds)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples: list[float] = []
+
+    def record(self, latency: float) -> None:
+        """Record one latency sample in seconds."""
+        if latency < 0:
+            raise ValueError(f"negative latency: {latency}")
+        self.samples.append(latency)
+
+    @property
+    def count(self) -> int:
+        """Number of samples recorded."""
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Mean latency in seconds."""
+        if not self.samples:
+            raise ValueError("no samples")
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def mean_us(self) -> float:
+        """Mean latency in microseconds."""
+        return self.mean * 1e6
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile, ``p`` in [0, 100]."""
+        if not self.samples:
+            raise ValueError("no samples")
+        if not 0 <= p <= 100:
+            raise ValueError("percentile in [0, 100]")
+        ordered = sorted(self.samples)
+        k = (len(ordered) - 1) * p / 100.0
+        lo = math.floor(k)
+        hi = math.ceil(k)
+        if lo == hi:
+            return ordered[int(k)]
+        return ordered[lo] * (hi - k) + ordered[hi] * (k - lo)
+
+
+class ThroughputProbe:
+    """Accumulates bytes (or transactions) over a measured interval."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.total = 0
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+
+    def open(self, t: float) -> None:
+        """Start the measurement interval at time ``t``."""
+        self.start_time = t
+
+    def record(self, n: int, t: float) -> None:
+        """Accumulate ``n`` units observed at time ``t``."""
+        if self.start_time is None:
+            self.start_time = t
+        self.total += n
+        self.end_time = t
+
+    @property
+    def elapsed(self) -> float:
+        """Observed interval length in seconds."""
+        if self.start_time is None or self.end_time is None:
+            raise ValueError("probe never recorded")
+        return self.end_time - self.start_time
+
+    def rate(self) -> float:
+        """Units per second over the observed interval."""
+        elapsed = self.elapsed
+        if elapsed <= 0:
+            raise ValueError("interval too short to compute a rate")
+        return self.total / elapsed
+
+    def mbps(self) -> float:
+        """Throughput in Mbit/s, interpreting ``total`` as bytes."""
+        return self.rate() * 8 / 1e6
+
+
+def summarize(samples: Iterable[float]) -> dict[str, float]:
+    """min/mean/max/stdev of an iterable of floats."""
+    data = list(samples)
+    if not data:
+        raise ValueError("no samples")
+    n = len(data)
+    mean = sum(data) / n
+    var = sum((x - mean) ** 2 for x in data) / n
+    return {
+        "n": n,
+        "min": min(data),
+        "mean": mean,
+        "max": max(data),
+        "stdev": math.sqrt(var),
+    }

@@ -1,0 +1,21 @@
+"""Reimplementations of the paper's benchmark workloads.
+
+Each module reproduces the measurement loop of the corresponding
+unmodified benchmark over the simulated socket API -- exercising
+XenLoop exactly the way the paper's transparency claim requires (no
+benchmark knows XenLoop exists):
+
+* :mod:`repro.workloads.pingpong`     -- ICMP flood ping.
+* :mod:`repro.workloads.netperf`      -- TCP_RR / UDP_RR / TCP_STREAM /
+  UDP_STREAM.
+* :mod:`repro.workloads.lmbench`      -- bw_tcp / lat_tcp.
+* :mod:`repro.workloads.netpipe`      -- NetPIPE over :mod:`repro.mpi`.
+* :mod:`repro.workloads.osu`          -- OSU MPI uni/bi bandwidth and
+  latency.
+* :mod:`repro.workloads.migration_rr` -- netperf TCP_RR sampled during
+  live migration (Fig. 11).
+"""
+
+from repro.workloads import lmbench, migration_rr, netperf, netpipe, osu, pingpong
+
+__all__ = ["lmbench", "migration_rr", "netperf", "netpipe", "osu", "pingpong"]

@@ -1,0 +1,154 @@
+"""Grant tables.
+
+Each domain owns a :class:`GrantTable`; entries authorize exactly one
+remote domain to map (share) or receive (transfer) a page.  The
+semantics enforced here are the ones XenLoop's channel-bootstrap and
+teardown protocols depend on:
+
+* only the domain named in the entry may map it;
+* an entry cannot be revoked while mapped (``gnttab_end_foreign_access``
+  fails, as in Xen);
+* transfers change page ownership and invalidate the entry.
+
+CPU costs for grant operations are charged by the *callers* (netfront,
+netback, the XenLoop module) using the :class:`~repro.calibration.CostModel`
+constants, because which side pays which cost is exactly the accounting
+the paper's "comparing options for data transfer" discussion
+(Sect. 3.3) is about.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.xen.page import Page
+
+__all__ = ["GrantError", "GrantRef", "GrantTable"]
+
+GrantRef = int
+
+
+class GrantError(Exception):
+    """Invalid grant-table operation."""
+
+
+class _GrantEntry:
+    __slots__ = ("gref", "page", "granted_to", "mapped_by", "transferable", "used")
+
+    def __init__(self, gref: GrantRef, page: Page, granted_to: int, transferable: bool):
+        self.gref = gref
+        self.page = page
+        self.granted_to = granted_to
+        self.mapped_by: set[int] = set()
+        self.transferable = transferable
+        self.used = False
+
+
+class GrantTable:
+    """Per-domain grant table."""
+
+    def __init__(self, domid: int):
+        self.domid = domid
+        self._entries: dict[GrantRef, _GrantEntry] = {}
+        self._next_ref = itertools.count(1)
+        self.grants_issued = 0
+        self.maps = 0
+        self.transfers = 0
+
+    # -- granting side --------------------------------------------------
+    def grant_foreign_access(self, remote_domid: int, page: Page) -> GrantRef:
+        """Allow ``remote_domid`` to map ``page``.  No hypercall needed at
+        the granting side (the table is mapped into its address space)."""
+        if remote_domid == self.domid:
+            raise GrantError("cannot grant a page to oneself")
+        gref = next(self._next_ref)
+        self._entries[gref] = _GrantEntry(gref, page, remote_domid, transferable=False)
+        self.grants_issued += 1
+        return gref
+
+    def grant_foreign_transfer(self, remote_domid: int, page: Page) -> GrantRef:
+        """Offer ``page`` for ownership transfer to ``remote_domid``."""
+        if remote_domid == self.domid:
+            raise GrantError("cannot transfer a page to oneself")
+        if page.owner != self.domid:
+            raise GrantError(f"dom{self.domid} does not own {page!r}")
+        gref = next(self._next_ref)
+        self._entries[gref] = _GrantEntry(gref, page, remote_domid, transferable=True)
+        self.grants_issued += 1
+        return gref
+
+    def end_foreign_access(self, gref: GrantRef) -> None:
+        """Revoke an access grant.  Fails while the peer has it mapped."""
+        entry = self._entries.get(gref)
+        if entry is None:
+            raise GrantError(f"no grant entry {gref} in dom{self.domid}")
+        if entry.mapped_by:
+            raise GrantError(f"grant {gref} still mapped by {sorted(entry.mapped_by)}")
+        del self._entries[gref]
+
+    # -- mapping side (hypercalls; cost charged by caller) -----------------
+    def map_grant(self, gref: GrantRef, mapper_domid: int) -> Page:
+        """Map an access grant; only the named domain may (hypercall)."""
+        entry = self._entries.get(gref)
+        if entry is None:
+            raise GrantError(f"no grant entry {gref} in dom{self.domid}")
+        if entry.transferable:
+            raise GrantError(f"grant {gref} is a transfer grant, not mappable")
+        if entry.granted_to != mapper_domid:
+            raise GrantError(
+                f"grant {gref} is for dom{entry.granted_to}, not dom{mapper_domid}"
+            )
+        entry.mapped_by.add(mapper_domid)
+        self.maps += 1
+        return entry.page
+
+    def unmap_grant(self, gref: GrantRef, mapper_domid: int) -> None:
+        """Release a mapping previously obtained with map_grant."""
+        entry = self._entries.get(gref)
+        if entry is None:
+            raise GrantError(f"no grant entry {gref} in dom{self.domid}")
+        if mapper_domid not in entry.mapped_by:
+            raise GrantError(f"grant {gref} not mapped by dom{mapper_domid}")
+        entry.mapped_by.discard(mapper_domid)
+
+    def transfer(self, gref: GrantRef, new_owner_domid: int) -> Page:
+        """Complete a page transfer: ownership moves to ``new_owner_domid``."""
+        entry = self._entries.get(gref)
+        if entry is None:
+            raise GrantError(f"no grant entry {gref} in dom{self.domid}")
+        if not entry.transferable:
+            raise GrantError(f"grant {gref} is an access grant, not transferable")
+        if entry.granted_to != new_owner_domid:
+            raise GrantError(
+                f"transfer grant {gref} is for dom{entry.granted_to}, not dom{new_owner_domid}"
+            )
+        if entry.used:
+            raise GrantError(f"transfer grant {gref} already used")
+        entry.used = True
+        entry.page.owner = new_owner_domid
+        self.transfers += 1
+        del self._entries[gref]
+        return entry.page
+
+    # -- introspection -----------------------------------------------------
+    def lookup(self, gref: GrantRef) -> Optional[Page]:
+        """The page behind ``gref``, or None."""
+        entry = self._entries.get(gref)
+        return entry.page if entry is not None else None
+
+    @property
+    def active_entries(self) -> int:
+        """Number of live grant entries."""
+        return len(self._entries)
+
+    def revoke_all_for(self, remote_domid: int, force: bool = False) -> int:
+        """Revoke every entry granted to ``remote_domid``; used on channel
+        teardown.  With ``force`` the revocation succeeds even while
+        mapped (domain destruction path)."""
+        stale = [g for g, e in self._entries.items() if e.granted_to == remote_domid]
+        for gref in stale:
+            if self._entries[gref].mapped_by and not force:
+                raise GrantError(f"grant {gref} still mapped; unmap before revoking")
+            del self._entries[gref]
+        return len(stale)

@@ -1,0 +1,64 @@
+"""Hypervisor: per-machine grant tables, event channels, domid space.
+
+The pieces of Xen that XenLoop and the split drivers call into.  The
+hypervisor also provides ``exec_in_domain``, the mechanism by which an
+event-channel upcall runs handler code in the target domain's CPU
+context (charging that domain, not the notifier).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.calibration import CostModel
+from repro.sim.engine import Simulator
+from repro.xen.event_channel import EventChannelSubsys
+from repro.xen.grant_table import GrantTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.xen.domain import Domain
+
+__all__ = ["Hypervisor"]
+
+
+class Hypervisor:
+    """Per-machine grant tables, event channels, and domid space."""
+    def __init__(self, sim: Simulator, costs: CostModel):
+        self.sim = sim
+        self.costs = costs
+        self.domains: dict[int, "Domain"] = {}
+        self.grant_tables: dict[int, GrantTable] = {}
+        self.evtchn = EventChannelSubsys(sim, costs, self.exec_in_domain)
+        self._next_domid = 0
+        self.hypercalls = 0
+
+    def alloc_domid(self) -> int:
+        """Allocate the next domain id (never reused)."""
+        domid = self._next_domid
+        self._next_domid += 1
+        return domid
+
+    def register_domain(self, domain: "Domain") -> None:
+        """Register a domain and create its grant table."""
+        if domain.domid in self.domains:
+            raise ValueError(f"domid {domain.domid} already registered")
+        self.domains[domain.domid] = domain
+        self.grant_tables[domain.domid] = GrantTable(domain.domid)
+
+    def unregister_domain(self, domain: "Domain") -> None:
+        """Drop a domain's grant table and close its event channels."""
+        self.domains.pop(domain.domid, None)
+        self.grant_tables.pop(domain.domid, None)
+        self.evtchn.close_all_for(domain.domid)
+
+    def exec_in_domain(self, domid: int, cost: float, fn: Callable[[], None]) -> None:
+        """Charge ``cost`` to ``domid`` and then run ``fn`` in its context."""
+        domain = self.domains.get(domid)
+        if domain is None or not domain.alive:
+            return  # domain died while the upcall was in flight
+
+        def _upcall():
+            yield domain.exec(cost)
+            fn()
+
+        domain.spawn(_upcall(), name="virq")

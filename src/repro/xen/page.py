@@ -1,0 +1,73 @@
+"""Machine pages and shared regions.
+
+A :class:`Page` wraps a 4 KiB numpy byte buffer.  A
+:class:`SharedRegion` is a physically contiguous run of pages exposing
+one flat array -- the XenLoop FIFOs are laid out over such a region,
+and when a peer domain *maps* the region's pages through the grant
+table it sees the very same buffers, so reads and writes genuinely
+share memory exactly as mapped grant pages do on real Xen.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+__all__ = ["PAGE_SIZE", "Page", "SharedRegion"]
+
+PAGE_SIZE = 4096
+
+_frame_counter = itertools.count(1)
+
+
+class Page:
+    """One 4 KiB machine page."""
+
+    __slots__ = ("frame", "buf", "owner", "region")
+
+    def __init__(self, owner: int, buf: np.ndarray | None = None, region: "SharedRegion | None" = None):
+        self.frame = next(_frame_counter)
+        if buf is None:
+            buf = np.zeros(PAGE_SIZE, dtype=np.uint8)
+        if buf.dtype != np.uint8 or buf.shape != (PAGE_SIZE,):
+            raise ValueError("page buffer must be a 4096-byte uint8 array")
+        self.buf = buf
+        #: domid of the owning domain (transfers change this).
+        self.owner = owner
+        #: back-reference when the page is part of a SharedRegion.
+        self.region = region
+
+    def zero(self) -> None:
+        """Scrub the page (the security step the transfer path pays for)."""
+        self.buf[:] = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Page frame={self.frame} owner=dom{self.owner}>"
+
+
+class SharedRegion:
+    """A contiguous run of pages with a single flat backing array."""
+
+    def __init__(self, owner: int, n_pages: int):
+        if n_pages < 1:
+            raise ValueError("region needs at least one page")
+        self.array = np.zeros(n_pages * PAGE_SIZE, dtype=np.uint8)
+        self.pages = [
+            Page(owner, self.array[i * PAGE_SIZE : (i + 1) * PAGE_SIZE], region=self)
+            for i in range(n_pages)
+        ]
+
+    @property
+    def n_pages(self) -> int:
+        """Number of pages in the region."""
+        return len(self.pages)
+
+    @property
+    def size(self) -> int:
+        """Region size in bytes."""
+        return len(self.array)
+
+    def zero(self) -> None:
+        """Scrub the whole region."""
+        self.array[:] = 0

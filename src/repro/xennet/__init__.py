@@ -1,0 +1,15 @@
+"""Xen split network driver: netfront (guest) + netback (Dom0) + rings.
+
+This is the *baseline* data path the paper measures XenLoop against
+(the "Netfront/Netback" column of Tables 1-3): every packet between
+co-resident guests crosses a grant-table ring into Dom0, traverses the
+software bridge, and crosses a second ring into the peer guest, paying
+domain switches, hypercalls, and per-page grant operations on the way.
+"""
+
+from repro.xennet.netback import Netback
+from repro.xennet.netfront import Netfront, VifDevice
+from repro.xennet.ring import SlottedRing
+from repro.xennet.setup import connect_vif
+
+__all__ = ["Netback", "Netfront", "SlottedRing", "VifDevice", "connect_vif"]

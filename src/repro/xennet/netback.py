@@ -1,0 +1,152 @@
+"""Netback: the Dom0 half of the split driver, plus its bridge port.
+
+Transmit path (guest -> world): a virq kicks the drain worker, which
+pays the grant map/copy/unmap hypercalls per packet, rebuilds the frame
+in Dom0, and forwards it through the software bridge *inline* (so frame
+ordering is preserved).
+
+Receive path (world -> guest): the bridge delivers frames to
+:class:`VifBridgePort`; netback either grant-copies small packets into
+a pre-shared page or grant-transfers page-sized ones (paying the page
+zeroing the paper calls out as expensive), pushes them onto the guest's
+RX ring, and notifies.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.bridge import BridgePort
+from repro.net.packet import Packet
+from repro.sim.resources import Store
+from repro.xennet.netfront import pages_for
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.xen.domain import Domain
+    from repro.xennet.netfront import Netfront
+    from repro.xennet.ring import SlottedRing
+
+__all__ = ["Netback", "VifBridgePort"]
+
+
+class VifBridgePort(BridgePort):
+    """The bridge port representing one guest's vif."""
+    def __init__(self, netback: "Netback"):
+        super().__init__(f"port-{netback.vif_name}")
+        self.netback = netback
+
+    def deliver(self, packet: Packet):
+        """Bridge -> guest: hand the frame to netback's receive path."""
+        yield from self.netback.to_guest(packet)
+
+
+class Netback:
+    """Dom0 half of one vif: TX drain worker + RX injection + bridge port."""
+    def __init__(
+        self,
+        dom0: "Domain",
+        netfront: "Netfront",
+        tx_ring: "SlottedRing",
+        rx_store: Store,
+        evtchn_port,
+    ):
+        self.dom0 = dom0
+        self.netfront = netfront
+        self.vif_name = f"vif{netfront.guest.domid}.0"
+        self.tx_ring = tx_ring
+        self.rx_store = rx_store
+        self.evtchn_port = evtchn_port
+        self.port = VifBridgePort(self)
+        self.detached = False
+
+        self._kick = dom0.sim.event(name=f"{self.vif_name}-kick")
+        self._worker = dom0.spawn(self._tx_drain_loop(), name=f"{self.vif_name}-netback")
+        self.tx_packets = 0
+        self.rx_packets = 0
+
+    @property
+    def bridge(self):
+        """The Dom0 software bridge on the current machine."""
+        return self.dom0.machine.bridge
+
+    # -- interrupt handler (runs in Dom0 context) -----------------------------
+    def on_interrupt(self) -> None:
+        """Guest kicked us: wake the TX drain worker."""
+        if not self._kick.triggered:
+            self._kick.succeed()
+
+    # -- guest -> bridge ----------------------------------------------------
+    def _tx_drain_loop(self):
+        dom0 = self.dom0
+        costs = dom0.costs
+        while True:
+            if self.detached:
+                return
+            if not self.tx_ring.has_requests:
+                self._kick = dom0.sim.event(name=f"{self.vif_name}-kick")
+                yield self._kick
+                # Credit-scheduler delay before Dom0's worker actually runs.
+                yield dom0.sim.timeout(costs.dom0_wakeup_latency)
+                continue
+            packet: Packet = self.tx_ring.pop_request()
+            npages = pages_for(packet.wire_len)
+            # Map the granted pages, copy/inspect, unmap, respond.
+            yield dom0.exec(
+                costs.hypercall
+                + costs.grant_map_page * npages
+                + costs.copy_cost(packet.wire_len)
+                + costs.netback_per_packet
+                + costs.hypercall
+                + costs.grant_unmap_page * npages
+            )
+            self.tx_ring.push_response(packet.wire_len)
+            self.tx_packets += 1
+            from repro import trace
+
+            trace.mark(packet, "netback-tx", dom0.sim.now)
+            # Completion notify back to the guest (coalesced).
+            yield dom0.exec(costs.evtchn_send)
+            dom0.machine.hypervisor.evtchn.notify(self.evtchn_port)
+            # Forward through the bridge inline to preserve ordering.
+            yield from self.bridge.forward(self.port, packet)
+
+    # -- bridge -> guest -------------------------------------------------------
+    def to_guest(self, packet: Packet):
+        """Generator (Dom0 context): push one frame to the guest."""
+        if self.detached:
+            return
+        dom0 = self.dom0
+        costs = dom0.costs
+        size = packet.wire_len
+        if size <= costs.netback_copy_threshold:
+            # Small packet: grant-copy into a pre-shared page.
+            cost = costs.hypercall + costs.copy_cost(size) + costs.netback_per_packet
+        else:
+            # Large packet: page transfer, with the pages zeroed in
+            # advance "to avoid any unintentional data leakage" (Sect. 2).
+            npages = pages_for(size)
+            cost = (
+                costs.hypercall
+                + costs.grant_transfer_page * npages
+                + costs.page_zero * npages
+                + costs.netback_per_packet
+            )
+        yield dom0.exec(cost)
+        from repro import trace
+
+        trace.mark(packet, "netback-rx-to-guest", dom0.sim.now)
+        yield self.rx_store.put(packet)  # blocks while the guest RX ring is full
+        self.rx_packets += 1
+        yield dom0.exec(costs.evtchn_send)
+        dom0.machine.hypervisor.evtchn.notify(self.evtchn_port)
+
+    # -- teardown ---------------------------------------------------------
+    def detach(self) -> None:
+        """Tear the netback down (guest shutdown or migration-out)."""
+        self.detached = True
+        self.bridge.remove_port(self.port)
+        if not self._kick.triggered:
+            self._kick.succeed()
+        if self.evtchn_port is not None:
+            self.dom0.machine.hypervisor.evtchn.close(self.evtchn_port)
+            self.evtchn_port = None

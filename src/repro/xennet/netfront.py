@@ -1,0 +1,170 @@
+"""Netfront: the guest-side half of the split driver.
+
+The guest's ``vif`` Ethernet device.  Transmit requests are granted to
+the driver domain and pushed onto the TX ring; receive packets arrive
+from netback on the RX ring and are fed to the guest stack's softirq.
+
+Per-packet grant-table traffic on the data path is *cost-modelled*
+(``grant_entry_update`` per page at the sender, map/unmap hypercalls in
+netback) rather than routed through the real
+:class:`~repro.xen.grant_table.GrantTable` object -- the control-path
+users of grants (XenLoop channel bootstrap) use the real table with
+full semantics.  See DESIGN.md "simplifications".
+
+Suspend/resume (for live migration) follows the paper's Sect. 3.4:
+while suspended, outgoing packets are saved on a limbo list and the
+senders stay blocked (backpressure, not loss); on resume the saved
+packets are re-submitted through the new ring.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.devices import NetDevice
+from repro.net.packet import Packet
+from repro.sim.engine import Event
+from repro.sim.resources import Store
+from repro.xen.page import PAGE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.xen.domain import Domain
+    from repro.xennet.ring import SlottedRing
+
+__all__ = ["Netfront", "VifDevice"]
+
+
+def pages_for(nbytes: int) -> int:
+    """Number of 4 KiB pages a buffer of ``nbytes`` spans."""
+    return max(1, math.ceil(nbytes / PAGE_SIZE))
+
+
+class VifDevice(NetDevice):
+    """The paravirtual network interface exposed to the guest stack."""
+
+    def __init__(self, netfront: "Netfront", name: str, mac, mtu: int = 1500):
+        # gso=True: netfront advertises TSO, so TCP hands it super-segments.
+        super().__init__(name, mac, mtu=mtu, gso=True)
+        self.netfront = netfront
+
+    def tx_cost(self, packet: Packet) -> float:
+        """Ring request build + per-page grant entries + notify hypercall."""
+        costs = self.netfront.guest.costs
+        npages = pages_for(packet.wire_len)
+        # Ring request build + one grant entry per page (no hypercall at
+        # the granting side) + the notify hypercall.
+        return (
+            costs.netfront_tx
+            + costs.grant_entry_update * npages
+            + costs.evtchn_send
+        )
+
+    def rx_cost(self, packet: Packet) -> float:
+        """Netfront per-packet receive bookkeeping."""
+        return self.netfront.guest.costs.netfront_rx
+
+    def queue_xmit(self, packet: Packet) -> Event:
+        """Hand the frame to netfront's transmit queue."""
+        return self.netfront.start_xmit(packet)
+
+
+class Netfront:
+    """Guest half of the split driver: vif device, rings, suspend/resume."""
+    def __init__(self, guest: "Domain", vif_name: str):
+        self.guest = guest
+        self.vif = VifDevice(self, vif_name, guest.mac)
+        # Wiring (rings, event channel, netback) is installed by
+        # repro.xennet.setup.connect_vif.
+        self.tx_ring: "SlottedRing | None" = None
+        self.rx_store: Optional[Store] = None
+        self.evtchn_port = None
+        self.netback = None
+
+        self.suspended = False
+        self._limbo: deque[tuple[Packet, Event]] = deque()
+        self._txq: deque[tuple[Packet, Event]] = deque()
+        self._tx_kick = guest.sim.event(name="netfront-tx-kick")
+        self._tx_worker = guest.spawn(self._tx_loop(), name="netfront-tx")
+        self.tx_packets = 0
+        self.rx_packets = 0
+
+    # -- transmit ---------------------------------------------------------
+    def start_xmit(self, packet: Packet) -> Event:
+        """Called by the vif device in sender context.  The returned event
+        fires once the packet occupies a TX ring slot (backpressure)."""
+        from repro import trace
+
+        trace.mark(packet, "netfront-tx", self.guest.sim.now)
+        done = self.guest.sim.event(name="netfront-xmit")
+        if self.suspended:
+            self._limbo.append((packet, done))
+            return done
+        self._txq.append((packet, done))
+        self._kick_tx()
+        return done
+
+    def _kick_tx(self) -> None:
+        if not self._tx_kick.triggered:
+            self._tx_kick.succeed()
+
+    def _tx_loop(self):
+        guest = self.guest
+        while True:
+            if not self._txq or self.suspended or self.tx_ring is None:
+                self._tx_kick = guest.sim.event(name="netfront-tx-kick")
+                yield self._tx_kick
+                continue
+            if self.tx_ring.free_slots == 0:
+                yield self.tx_ring.wait_space()
+                continue
+            packet, done = self._txq.popleft()
+            self.tx_ring.push_request(packet)
+            self.tx_packets += 1
+            self.vif.count_tx(packet)
+            done.succeed()
+            # Notify the driver domain (pending-bit coalescing applies).
+            self.guest.machine.hypervisor.evtchn.notify(self.evtchn_port)
+
+    # -- interrupt (virq) handler ------------------------------------------
+    def on_interrupt(self) -> None:
+        """Runs in guest context after virq_entry is charged: drain RX
+        packets into the stack backlog and consume TX completions."""
+        if self.rx_store is not None:
+            while True:
+                found, packet = self.rx_store.try_get()
+                if not found:
+                    break
+                self.rx_packets += 1
+                self.vif.deliver_up(packet)
+        if self.tx_ring is not None:
+            while self.tx_ring.pop_response() is not None:
+                pass  # slot freed; wait_space waiters fire inside the ring
+
+    # -- migration support -----------------------------------------------
+    def suspend(self) -> None:
+        """Freeze transmission; queued packets move to the limbo list."""
+        self.suspended = True
+        # Anything still queued locally is saved for after the move.
+        while self._txq:
+            self._limbo.append(self._txq.popleft())
+
+    def disconnect(self) -> None:
+        """Tear down ring/event-channel wiring (netback side included)."""
+        if self.netback is not None:
+            self.netback.detach()
+            self.netback = None
+        if self.evtchn_port is not None:
+            self.guest.machine.hypervisor.evtchn.close(self.evtchn_port)
+            self.evtchn_port = None
+        self.tx_ring = None
+        self.rx_store = None
+
+    def resume(self) -> None:
+        """Re-submit saved packets through the (new) ring after migration."""
+        self.suspended = False
+        while self._limbo:
+            packet, done = self._limbo.popleft()
+            self._txq.append((packet, done))
+        self._kick_tx()

@@ -1,0 +1,98 @@
+"""The producer-consumer descriptor ring shared by netfront and netback.
+
+"The ring buffers are nothing but a standard lockless shared memory
+data structure built on top of two primitives -- grant tables and event
+channels" (paper Sect. 2).  A slot is occupied from the moment the
+producer pushes a request until the producer consumes the matching
+response, which is what bounds the number of packets in flight across
+the driver boundary and gives the path its backpressure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["RingFullError", "SlottedRing"]
+
+
+class RingFullError(Exception):
+    """push_request on a ring with no free slots."""
+    pass
+
+
+class SlottedRing:
+    """Request/response ring; slots held until responses are consumed."""
+    def __init__(self, sim: Simulator, size: int):
+        if size < 1:
+            raise ValueError("ring needs at least one slot")
+        self.sim = sim
+        self.size = size
+        self._requests: Deque[Any] = deque()
+        self._responses: Deque[Any] = deque()
+        #: slots held: queued requests + in-service + unconsumed responses.
+        self.outstanding = 0
+        self._space_waiters: Deque[Event] = deque()
+        self.total_requests = 0
+
+    # -- producer side (e.g. netfront tx) ---------------------------------
+    @property
+    def free_slots(self) -> int:
+        """Slots available to the producer right now."""
+        return self.size - self.outstanding
+
+    def push_request(self, item: Any) -> None:
+        """Producer: occupy a slot with a request (raises when full)."""
+        if self.outstanding >= self.size:
+            raise RingFullError("no free slots")
+        self._requests.append(item)
+        self.outstanding += 1
+        self.total_requests += 1
+
+    def wait_space(self) -> Event:
+        """Event firing once at least one slot is free."""
+        ev = self.sim.event(name="ring-space")
+        if self.free_slots > 0:
+            ev.succeed()
+        else:
+            self._space_waiters.append(ev)
+        return ev
+
+    def pop_response(self) -> Optional[Any]:
+        """Producer: consume a response, freeing its slot."""
+        if not self._responses:
+            return None
+        item = self._responses.popleft()
+        self.outstanding -= 1
+        self._wake_space()
+        return item
+
+    # -- consumer side (e.g. netback) ----------------------------------------
+    def pop_request(self) -> Optional[Any]:
+        """Consumer: take the oldest request (None when empty)."""
+        if not self._requests:
+            return None
+        return self._requests.popleft()
+
+    def push_response(self, item: Any) -> None:
+        """Consumer: complete a request (slot frees at pop_response)."""
+        self._responses.append(item)
+
+    @property
+    def has_requests(self) -> bool:
+        """Whether any requests await the consumer."""
+        return bool(self._requests)
+
+    @property
+    def has_responses(self) -> bool:
+        """Whether any responses await the producer."""
+        return bool(self._responses)
+
+    def _wake_space(self) -> None:
+        while self._space_waiters and self.free_slots > 0:
+            ev = self._space_waiters.popleft()
+            if not ev.triggered:
+                ev.succeed()
+                break

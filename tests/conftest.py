@@ -1,0 +1,31 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calibration import DEFAULT_COSTS
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def costs():
+    return DEFAULT_COSTS
+
+
+@pytest.fixture
+def fast_costs():
+    """Cost model with short control-plane periods so XenLoop scenario
+    tests don't have to simulate 5+ seconds of discovery idle time."""
+    return DEFAULT_COSTS.replace(discovery_period=0.2, bootstrap_timeout=0.01)
+
+
+def run_gen(sim: Simulator, gen, timeout: float = 60.0):
+    """Run a generator as a process to completion; return its value."""
+    proc = sim.process(gen)
+    return sim.run_until_complete(proc, timeout=timeout)

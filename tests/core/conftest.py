@@ -1,0 +1,51 @@
+"""Fixtures for XenLoop core tests: a live xenloop scenario with fast
+discovery, plus traffic helpers."""
+
+import pytest
+
+from repro import scenarios
+from repro.calibration import DEFAULT_COSTS
+
+
+FAST = DEFAULT_COSTS.replace(discovery_period=0.2, bootstrap_timeout=0.01)
+
+
+@pytest.fixture
+def xl():
+    """Connected xenloop scenario (channels established)."""
+    scn = scenarios.xenloop(FAST)
+    scn.warmup(max_wait=10.0)
+    return scn
+
+
+@pytest.fixture
+def xl_cold():
+    """xenloop scenario before any discovery/bootstrap has happened."""
+    return scenarios.xenloop(FAST)
+
+
+def udp_once(scn, payload, port=7100, timeout=5.0):
+    """Send one datagram a->b and return what b received."""
+    sim = scn.sim
+    server = scn.node_b.stack.udp_socket(port)
+    client = scn.node_a.stack.udp_socket()
+
+    def cli():
+        yield from client.sendto(payload, (scn.ip_b, port))
+
+    def srv():
+        data, _ = yield from server.recvfrom()
+        return data
+
+    sim.process(cli())
+    proc = sim.process(srv())
+    data = sim.run_until_complete(proc, timeout=timeout)
+    server.close()
+    client.close()
+    return data
+
+
+def first_channel(scn, node):
+    module = scn.xenloop_module(node)
+    assert module.channels, f"no channels on {node.name}"
+    return next(iter(module.channels.values()))

@@ -1,0 +1,86 @@
+"""Property-based tests on the channel data path.
+
+The invariant under test is the paper's implicit contract: whatever
+mix of packet sizes the guests push through the XenLoop channel, every
+packet arrives exactly once, byte-identical, in order, regardless of
+FIFO pressure (waiting list) or size-based fallback to netfront.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import scenarios
+from tests.core.conftest import FAST
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=20000), min_size=1, max_size=40),
+    fifo_order=st.sampled_from([9, 11, 13]),
+)
+def test_udp_datagram_stream_integrity(sizes, fifo_order):
+    scn = scenarios.xenloop(FAST, fifo_order=fifo_order)
+    scn.warmup(max_wait=10.0)
+    sim = scn.sim
+    server = scn.node_b.stack.udp_socket(7900, rcvbuf=1 << 24)
+    client = scn.node_a.stack.udp_socket()
+
+    payloads = [bytes([(i * 37 + j) % 256 for j in range(n)]) for i, n in enumerate(sizes)]
+
+    def cli():
+        for p in payloads:
+            yield from client.sendto(p, (scn.ip_b, 7900))
+
+    got = []
+
+    def srv():
+        for _ in payloads:
+            data, _ = yield from server.recvfrom()
+            got.append(data)
+
+    sim.process(cli())
+    proc = sim.process(srv())
+    sim.run_until_complete(proc, timeout=120)
+    # Exactly once and byte-identical, always.
+    assert sorted(got) == sorted(payloads)
+    # Ordering: packets on the *same* path stay in order.  A datagram too
+    # big for the FIFO takes the netfront path and a later small one can
+    # overtake it through the channel -- true of the real XenLoop too
+    # (UDP makes no cross-path ordering promise); so the order invariant
+    # is asserted per path.
+    capacity = (1 << fifo_order) * 8 - 8
+    ip_overhead = 28  # IP + UDP headers
+
+    def via_channel(p):
+        return len(p) + ip_overhead <= capacity
+
+    assert [p for p in got if via_channel(p)] == [p for p in payloads if via_channel(p)]
+    assert [p for p in got if not via_channel(p)] == [
+        p for p in payloads if not via_channel(p)
+    ]
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    chunks=st.lists(st.binary(min_size=1, max_size=30000), min_size=1, max_size=12)
+)
+def test_tcp_stream_integrity_through_channel(chunks):
+    scn = scenarios.xenloop(FAST)
+    scn.warmup(max_wait=10.0)
+    sim = scn.sim
+    listener = scn.node_b.stack.tcp_listen(7901)
+    total = b"".join(chunks)
+
+    def srv():
+        conn = yield from listener.accept()
+        return (yield from conn.recv_exactly(len(total)))
+
+    def cli():
+        conn = yield from scn.node_a.stack.tcp_connect((scn.ip_b, 7901))
+        for chunk in chunks:
+            yield from conn.send(chunk)
+
+    sim.process(cli())
+    proc = sim.process(srv())
+    assert sim.run_until_complete(proc, timeout=240) == total

@@ -1,0 +1,81 @@
+"""Soft-state domain discovery (Dom0 module + guest mapping tables)."""
+
+import pytest
+
+from repro import scenarios
+from repro.core.discovery import DiscoveryModule
+from tests.core.conftest import FAST
+
+
+class TestCollation:
+    def test_collate_reads_adverts(self, xl_cold):
+        scn = xl_cold
+        scn.sim.run(until=0.05)  # let modules write their adverts
+        entries = scn.discovery.collate()
+        assert sorted(domid for domid, _mac in entries) == sorted(
+            (scn.node_a.domid, scn.node_b.domid)
+        )
+        macs = {mac for _d, mac in entries}
+        assert scn.node_a.mac in macs and scn.node_b.mac in macs
+
+    def test_collate_ignores_non_advertising_guests(self, xl_cold):
+        scn = xl_cold
+        machine = scn.machines[0]
+        machine.create_guest("vm3", ip=None)  # no stack, no module
+        scn.sim.run(until=0.05)
+        assert len(scn.discovery.collate()) == 2
+
+    def test_collate_skips_malformed_advert(self, xl_cold):
+        scn = xl_cold
+        machine = scn.machines[0]
+        vm3 = machine.create_guest("vm3")
+        machine.xenstore.write(0, f"/local/domain/{vm3.domid}/xenloop", "not-a-mac")
+        scn.sim.run(until=0.05)
+        assert len(scn.discovery.collate()) == 2
+
+
+class TestAnnouncements:
+    def test_guests_learn_mapping(self, xl_cold):
+        scn = xl_cold
+        scn.sim.run(until=2 * FAST.discovery_period)
+        module_a = scn.xenloop_module(scn.node_a)
+        module_b = scn.xenloop_module(scn.node_b)
+        assert module_a.mapping == {scn.node_b.mac: scn.node_b.domid}
+        assert module_b.mapping == {scn.node_a.mac: scn.node_a.domid}
+
+    def test_own_entry_excluded(self, xl_cold):
+        scn = xl_cold
+        scn.sim.run(until=2 * FAST.discovery_period)
+        module_a = scn.xenloop_module(scn.node_a)
+        assert scn.node_a.mac not in module_a.mapping
+
+    def test_periodic_scanning(self, xl_cold):
+        scn = xl_cold
+        scn.sim.run(until=5 * FAST.discovery_period)
+        assert scn.discovery.scans >= 4
+
+    def test_stopped_discovery_stops_announcing(self, xl_cold):
+        scn = xl_cold
+        scn.sim.run(until=2 * FAST.discovery_period)
+        scn.discovery.stop()
+        sent = scn.discovery.announcements_sent
+        scn.sim.run(until=scn.sim.now + 3 * FAST.discovery_period)
+        assert scn.discovery.announcements_sent == sent
+
+    def test_announcements_counted_by_guests(self, xl_cold):
+        scn = xl_cold
+        scn.sim.run(until=3 * FAST.discovery_period)
+        assert scn.xenloop_module(scn.node_a).announcements_seen >= 2
+
+    def test_third_guest_appears_in_mapping(self, xl_cold):
+        scn = xl_cold
+        scn.sim.run(until=2 * FAST.discovery_period)
+        from repro.core.module import XenLoopModule
+        from repro.net.addr import IPv4Addr
+
+        machine = scn.machines[0]
+        vm3 = machine.create_guest("vm3", ip=IPv4Addr("10.0.0.3"))
+        XenLoopModule(vm3)
+        scn.sim.run(until=scn.sim.now + 2 * FAST.discovery_period)
+        module_a = scn.xenloop_module(scn.node_a)
+        assert module_a.mapping.get(vm3.mac) == vm3.domid

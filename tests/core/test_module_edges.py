@@ -1,0 +1,132 @@
+"""Remaining module-level edge cases and statistics."""
+
+import pytest
+
+from repro import scenarios
+from repro.core.channel import ChannelState
+from repro.net.netfilter import HookPoint, Verdict
+from tests.core.conftest import FAST, first_channel, udp_once
+
+
+class TestHookEdges:
+    def test_non_ip_frames_not_intercepted(self, xl):
+        """ARP and other raw frames bypass the hook (it only sees L3)."""
+        module_a = xl.xenloop_module(xl.node_a)
+        before = module_a.pkts_via_channel
+        xl.node_a.stack.arp.announce()
+        xl.sim.run(until=xl.sim.now + 0.05)
+        assert module_a.pkts_via_channel == before
+
+    def test_off_subnet_traffic_not_intercepted(self, xl):
+        """Traffic routed off-subnet (via a gateway that doesn't exist
+        here) never consults the mapping table."""
+        from repro.net.addr import IPv4Addr
+        from repro.net.ipv4 import RoutingError
+
+        module_a = xl.xenloop_module(xl.node_a)
+        sock = xl.node_a.stack.udp_socket()
+        sim = xl.sim
+
+        def send():
+            try:
+                yield from sock.sendto(b"x", (IPv4Addr("192.168.77.1"), 9))
+            except RoutingError:
+                return "no-route"
+
+        proc = sim.process(send())
+        assert sim.run_until_complete(proc, timeout=5) == "no-route"
+
+    def test_hook_unregistered_after_unload_stops_counting(self, xl):
+        sim = xl.sim
+        module_a = xl.xenloop_module(xl.node_a)
+        proc = sim.process(module_a.unload())
+        sim.run_until_complete(proc, timeout=5)
+        sim.run(until=sim.now + 0.1)
+        std_before = module_a.pkts_via_standard
+        udp_once(xl, b"post", port=8950)
+        assert module_a.pkts_via_standard == std_before  # module is gone
+
+    def test_double_unload_is_noop(self, xl):
+        sim = xl.sim
+        module_a = xl.xenloop_module(xl.node_a)
+        for _ in range(2):
+            proc = sim.process(module_a.unload())
+            sim.run_until_complete(proc, timeout=5)
+
+
+class TestChannelAccounting:
+    def test_bytes_counters_match_traffic(self, xl):
+        ch_a = first_channel(xl, xl.node_a)
+        sent_before = ch_a.bytes_sent
+        payload = bytes(3000)
+        udp_once(xl, payload, port=8951)
+        # one UDP datagram = one L3 packet: payload + 28 bytes of headers
+        assert ch_a.bytes_sent - sent_before == len(payload) + 28
+
+    def test_notify_counter_tracks_pushes(self, xl):
+        ch_a = first_channel(xl, xl.node_a)
+        n_before = ch_a.notifies
+        udp_once(xl, b"tick", port=8952)
+        assert ch_a.notifies > n_before
+
+    def test_stats_dict_is_fresh_each_call(self, xl):
+        module_a = xl.xenloop_module(xl.node_a)
+        s1 = module_a.stats()
+        udp_once(xl, b"x", port=8953)
+        s2 = module_a.stats()
+        assert s2["via_channel"] >= s1["via_channel"]
+        assert s1 is not s2
+
+
+class TestHookCoexistence:
+    def test_other_netfilter_hooks_still_run(self, xl):
+        """A user firewall hook registered after XenLoop still sees the
+        packets XenLoop declines (transparency for other netfilter
+        users)."""
+        seen = []
+
+        def firewall(packet, dev):
+            if packet.ip is not None:
+                seen.append(packet.ip.dst)
+            return Verdict.ACCEPT
+            yield  # pragma: no cover
+
+        xl.node_a.stack.netfilter.register(
+            HookPoint.POST_ROUTING, firewall, priority=100
+        )
+        # channel-bound packets are STOLEN before the firewall (XenLoop
+        # is below the network layer); loopback traffic still passes it.
+        sim = xl.sim
+        a_sock = xl.node_a.stack.udp_socket(8954)
+        b_sock = xl.node_a.stack.udp_socket()
+
+        def gen():
+            yield from b_sock.sendto(b"self", (xl.ip_a, 8954))
+            yield from a_sock.recvfrom()
+
+        proc = sim.process(gen())
+        sim.run_until_complete(proc, timeout=5)
+        assert xl.ip_a in seen
+
+    def test_drop_hook_before_xenloop_wins(self, xl):
+        """A higher-priority DROP hook starves the channel -- hook
+        ordering is respected."""
+        def dropper(packet, dev):
+            return Verdict.DROP
+            yield  # pragma: no cover
+
+        xl.node_a.stack.netfilter.register(
+            HookPoint.POST_ROUTING, dropper, priority=-100
+        )
+        ch_a = first_channel(xl, xl.node_a)
+        sent_before = ch_a.pkts_sent
+        sim = xl.sim
+        sock = xl.node_a.stack.udp_socket()
+
+        def send():
+            yield from sock.sendto(b"blocked", (xl.ip_b, 8955))
+
+        proc = sim.process(send())
+        sim.run_until_complete(proc, timeout=5)
+        assert ch_a.pkts_sent == sent_before
+        xl.node_a.stack.netfilter.unregister(HookPoint.POST_ROUTING, dropper)

@@ -1,0 +1,92 @@
+"""Channel bootstrap while the standard path is saturated.
+
+The paper's bootstrap runs out-of-band over netfront while data traffic
+continues on the same path; these tests check the control plane is not
+starved by a saturating stream and that the switchover happens
+mid-stream without loss."""
+
+import pytest
+
+from repro import scenarios
+from repro.core.channel import ChannelState
+
+FAST = scenarios.DEFAULT_COSTS.replace(discovery_period=0.2, bootstrap_timeout=0.02)
+
+
+class TestBootstrapUnderLoad:
+    def test_channel_connects_during_saturating_udp(self):
+        scn = scenarios.xenloop(FAST)
+        sim = scn.sim
+        server = scn.node_b.stack.udp_socket(9601, rcvbuf=1 << 24)
+        client = scn.node_a.stack.udp_socket()
+        state = {"sent": 0, "stop": False}
+
+        def blaster():
+            while not state["stop"]:
+                yield from client.sendto(bytes(1400), (scn.ip_b, 9601))
+                state["sent"] += 1
+
+        def drainer():
+            while not state["stop"]:
+                yield from server.recvfrom()
+
+        sim.process(blaster())
+        sim.process(drainer())
+
+        deadline = sim.now + 20.0
+        module_a = scn.xenloop_module(scn.node_a)
+        while sim.now < deadline:
+            sim.run(until=sim.now + 0.1)
+            if any(
+                ch.state is ChannelState.CONNECTED
+                for ch in module_a.channels.values()
+            ):
+                break
+        else:
+            pytest.fail("bootstrap starved by data traffic")
+        # After connecting, subsequent datagrams use the channel.
+        via_before = module_a.pkts_via_channel
+        sim.run(until=sim.now + 0.05)
+        state["stop"] = True
+        sim.run(until=sim.now + 0.05)
+        assert module_a.pkts_via_channel > via_before
+        assert state["sent"] > 500  # the stream really was saturating
+
+    def test_tcp_stream_switches_paths_without_corruption(self):
+        # aggressive discovery so the switchover lands mid-stream (the
+        # 3 MB stream lasts ~15 ms of simulated time)
+        costs = FAST.replace(discovery_period=0.005)
+        scn = scenarios.xenloop(costs)
+        sim = scn.sim
+        listener = scn.node_b.stack.tcp_listen(9602)
+        total = 3_000_000
+        out = {}
+
+        def srv():
+            conn = yield from listener.accept()
+            got = 0
+            checksum = 0
+            while got < total:
+                data = yield from conn.recv(1 << 16)
+                if not data:
+                    break
+                got += len(data)
+                checksum = (checksum + sum(data[:8])) & 0xFFFFFFFF
+            out["got"] = got
+
+        def cli():
+            conn = yield from scn.node_a.stack.tcp_connect((scn.ip_b, 9602))
+            sent = 0
+            while sent < total:
+                chunk = bytes([sent % 251]) * min(32768, total - sent)
+                yield from conn.send(chunk)
+                sent += len(chunk)
+
+        sim.process(cli())
+        proc = sim.process(srv())
+        sim.run_until_complete(proc, timeout=120)
+        assert out["got"] == total
+        module_a = scn.xenloop_module(scn.node_a)
+        # the stream started on netfront and finished on the channel
+        assert module_a.pkts_via_standard > 0
+        assert module_a.pkts_via_channel > 0

@@ -1,0 +1,41 @@
+"""Smoke checks on the example scripts.
+
+Each example is importable and exposes a ``main``; the cheapest one is
+actually executed end-to-end (the others exercise the exact same
+library paths as the workload tests, and running all of them belongs to
+``make examples``)."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+EXAMPLES = sorted((ROOT / "examples").glob("*.py"))
+
+
+def load(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_present(self):
+        names = {p.stem for p in EXAMPLES}
+        assert {"quickstart", "mpi_cluster", "web_service_tier",
+                "live_migration", "path_anatomy"} <= names
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_importable_with_main(self, path):
+        module = load(path)
+        assert callable(getattr(module, "main", None)), f"{path.stem} has no main()"
+
+    def test_quickstart_runs(self, capsys):
+        module = load(ROOT / "examples" / "quickstart.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "Latency improvement" in out
+        assert "Bandwidth improvement" in out

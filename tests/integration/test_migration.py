@@ -1,0 +1,174 @@
+"""Live migration with XenLoop loaded (paper Sect. 3.4 + Fig. 11 setup)."""
+
+import pytest
+
+from repro import scenarios
+from repro.core.channel import ChannelState
+from repro.xen.migration import live_migrate
+
+FAST_MIG = scenarios.DEFAULT_COSTS.replace(
+    discovery_period=0.2,
+    bootstrap_timeout=0.01,
+    migration_duration=0.3,
+    migration_downtime=0.05,
+)
+
+
+@pytest.fixture
+def pair():
+    scn = scenarios.migration_pair(FAST_MIG)
+    scn.warmup()
+    return scn
+
+
+def migrate(scn, guest, dst):
+    proc = scn.sim.process(live_migrate(guest, dst))
+    return scn.sim.run_until_complete(proc, timeout=60)
+
+
+def udp_roundtrip(scn, payload, port):
+    sim = scn.sim
+    server = scn.node_b.stack.udp_socket(port)
+    client = scn.node_a.stack.udp_socket()
+
+    def gen():
+        yield from client.sendto(payload, (scn.ip_b, port))
+        data, addr = yield from server.recvfrom()
+        yield from server.sendto(data.upper(), addr)
+        resp, _ = yield from client.recvfrom()
+        return resp
+
+    proc = sim.process(gen())
+    result = sim.run_until_complete(proc, timeout=30)
+    server.close()
+    client.close()
+    return result
+
+
+def wait_for_channel(scn, max_wait=10.0):
+    sim = scn.sim
+    deadline = sim.now + max_wait
+    port_seq = iter(range(8300, 8400))
+    while sim.now < deadline:
+        udp_roundtrip(scn, b"probe", next(port_seq))
+        if all(
+            any(ch.state is ChannelState.CONNECTED for ch in m.channels.values())
+            for m in scn.modules.values()
+        ):
+            return True
+        sim.run(until=sim.now + FAST_MIG.discovery_period / 2)
+    return False
+
+
+class TestMigrationMechanics:
+    def test_domain_moves_and_gets_new_domid(self, pair):
+        scn = pair
+        machine_a, machine_b = scn.machines
+        vm2 = scn.node_b
+        old_domid = vm2.domid
+        new_domid = migrate(scn, vm2, machine_a)
+        assert vm2.machine is machine_a
+        assert new_domid == vm2.domid
+        assert new_domid != old_domid
+        assert vm2.domid in machine_a.domains
+        assert old_domid not in machine_b.domains
+
+    def test_xenstore_state_moves(self, pair):
+        scn = pair
+        machine_a, machine_b = scn.machines
+        vm2 = scn.node_b
+        old = vm2.domid
+        migrate(scn, vm2, machine_a)
+        assert not machine_b.xenstore.exists(0, f"/local/domain/{old}")
+        assert machine_a.xenstore.exists(0, f"/local/domain/{vm2.domid}")
+
+    def test_connectivity_survives_migration(self, pair):
+        scn = pair
+        machine_a, _machine_b = scn.machines
+        assert udp_roundtrip(scn, b"before", 8201) == b"BEFORE"
+        migrate(scn, scn.node_b, machine_a)
+        assert udp_roundtrip(scn, b"after", 8202) == b"AFTER"
+
+    def test_module_readvertises_after_migration(self, pair):
+        scn = pair
+        machine_a, _ = scn.machines
+        vm2 = scn.node_b
+        migrate(scn, vm2, machine_a)
+        path = f"/local/domain/{vm2.domid}/xenloop"
+        scn.sim.run(until=scn.sim.now + 0.1)
+        assert machine_a.xenstore.read(0, path) == str(vm2.mac)
+
+
+class TestChannelLifecycleAcrossMigration:
+    def test_comigration_establishes_channel(self, pair):
+        """VMs on different machines have no channel; after migrating
+        together, discovery + traffic bootstrap one."""
+        scn = pair
+        machine_a, _ = scn.machines
+        assert not scn.xenloop_module(scn.node_a).channels
+        migrate(scn, scn.node_b, machine_a)
+        assert wait_for_channel(scn)
+
+    def test_channel_used_after_comigration(self, pair):
+        scn = pair
+        machine_a, _ = scn.machines
+        migrate(scn, scn.node_b, machine_a)
+        wait_for_channel(scn)
+        module_a = scn.xenloop_module(scn.node_a)
+        before = module_a.pkts_via_channel
+        udp_roundtrip(scn, b"shm", 8203)
+        assert module_a.pkts_via_channel > before
+
+    def test_migrate_away_tears_channel_down(self, pair):
+        scn = pair
+        machine_a, machine_b = scn.machines
+        migrate(scn, scn.node_b, machine_a)
+        wait_for_channel(scn)
+        migrate(scn, scn.node_b, machine_b)
+        scn.sim.run(until=scn.sim.now + 0.2)
+        assert not scn.xenloop_module(scn.node_b).channels
+        assert not scn.xenloop_module(scn.node_a).channels
+        # and traffic still flows over the wire
+        assert udp_roundtrip(scn, b"remote", 8204) == b"REMOTE"
+
+    def test_tcp_connection_survives_round_trip_migration(self, pair):
+        """An established TCP connection keeps working while its peer
+        migrates in and back out (paper: "without disrupting ongoing
+        network communications")."""
+        scn = pair
+        machine_a, machine_b = scn.machines
+        sim = scn.sim
+        listener = scn.node_b.stack.tcp_listen(8205)
+        state = {"received": 0, "stop": False}
+
+        def srv():
+            conn = yield from listener.accept()
+            while not state["stop"]:
+                data = yield from conn.recv(65536)
+                if not data:
+                    break
+                state["received"] += len(data)
+
+        def cli():
+            conn = yield from scn.node_a.stack.tcp_connect((scn.ip_b, 8205))
+            state["conn"] = conn
+            while not state["stop"]:
+                yield from conn.send(bytes(1000))
+                yield sim.timeout(0.001)
+
+        sim.process(srv())
+        sim.process(cli())
+        sim.run(until=sim.now + 0.5)
+        received_phase1 = state["received"]
+        assert received_phase1 > 0
+
+        migrate(scn, scn.node_b, machine_a)
+        sim.run(until=sim.now + 2.0)
+        received_phase2 = state["received"]
+        assert received_phase2 > received_phase1  # flowed while co-resident
+
+        migrate(scn, scn.node_b, machine_b)
+        sim.run(until=sim.now + 2.0)
+        assert state["received"] > received_phase2  # flows again after leaving
+        state["stop"] = True
+        sim.run(until=sim.now + 0.1)

@@ -1,0 +1,94 @@
+"""Scaling past two guests: pairwise channels, all-to-all traffic,
+and three-way lifecycle interactions."""
+
+import pytest
+
+from repro import scenarios
+from repro.core.channel import ChannelState
+from repro.core.module import XenLoopModule
+from repro.net.addr import IPv4Addr
+
+FAST = scenarios.DEFAULT_COSTS.replace(discovery_period=0.2, bootstrap_timeout=0.01)
+
+
+def build_n_guests(n=4):
+    """One Xen machine with n guests, all running XenLoop."""
+    scn = scenarios.xenloop_mesh(n, FAST)
+    return scn, scn.machines[0].guests
+
+
+def all_to_all_exchange(scn, guests, port, rounds=1):
+    """Every guest sends one datagram to every other guest; returns the
+    count of (receiver, payload) deliveries."""
+    sim = scn.sim
+    socks = {g.name: g.stack.udp_socket(port) for g in guests}
+    received = []
+
+    def sender(g):
+        for _ in range(rounds):
+            for peer in guests:
+                if peer is g:
+                    continue
+                yield from socks[g.name].sendto(
+                    f"{g.name}->{peer.name}".encode(), (peer.ip, port)
+                )
+            yield sim.timeout(0.001)
+
+    def receiver(g):
+        expect = rounds * (len(guests) - 1)
+        for _ in range(expect):
+            data, _ = yield from socks[g.name].recvfrom()
+            received.append((g.name, data))
+
+    recv_procs = [sim.process(receiver(g)) for g in guests]
+    for g in guests:
+        sim.process(sender(g))
+    for proc in recv_procs:
+        sim.run_until_complete(proc, timeout=60)
+    for sock in socks.values():
+        sock.close()
+    return received
+
+
+class TestFourGuests:
+    def test_all_to_all_delivery(self):
+        scn, guests = build_n_guests(4)
+        scn.sim.run(until=2 * FAST.discovery_period)
+        received = all_to_all_exchange(scn, guests, port=8601, rounds=2)
+        assert len(received) == 2 * 4 * 3
+        # every pair exchanged
+        pairs = {tuple(d.decode().split("->")) for _r, d in received}
+        assert len(pairs) == 12
+
+    def test_pairwise_channels_form(self):
+        scn, guests = build_n_guests(4)
+        scn.sim.run(until=2 * FAST.discovery_period)
+        for round_port in range(8610, 8618):
+            all_to_all_exchange(scn, guests, port=round_port)
+            scn.sim.run(until=scn.sim.now + FAST.discovery_period)
+            counts = [len(scn.modules[g.name].channels) for g in guests]
+            if all(c == 3 for c in counts):
+                break
+        counts = [len(scn.modules[g.name].channels) for g in guests]
+        assert counts == [3, 3, 3, 3]  # full mesh: C(4,2)=6 channels
+        # listener/connector roles are consistent per pair
+        for g in guests:
+            for ch in scn.modules[g.name].channels.values():
+                assert ch.state is ChannelState.CONNECTED
+                assert ch.is_listener == (g.domid < ch.peer_domid)
+
+    def test_one_guest_shutdown_leaves_mesh_working(self):
+        scn, guests = build_n_guests(3)
+        scn.sim.run(until=2 * FAST.discovery_period)
+        all_to_all_exchange(scn, guests, port=8620)
+        scn.sim.run(until=scn.sim.now + FAST.discovery_period)
+        victim = guests[-1]
+        proc = scn.sim.process(victim.shutdown())
+        scn.sim.run_until_complete(proc, timeout=10)
+        scn.sim.run(until=scn.sim.now + 2 * FAST.discovery_period)
+        survivors = guests[:-1]
+        # survivors' modules dropped the dead peer
+        for g in survivors:
+            assert victim.mac not in scn.modules[g.name].channels
+        received = all_to_all_exchange(scn, survivors, port=8621)
+        assert len(received) == 2

@@ -1,0 +1,35 @@
+"""Mini network topologies for net-layer tests."""
+
+import pytest
+
+from repro.calibration import DEFAULT_COSTS
+from repro.net.addr import IPv4Addr, MacAddr
+from repro.net.nic import EthernetSwitch, PhysNIC
+from repro.net.node import Node
+from repro.net.stack import NetworkStack
+from repro.sim.resources import CPUCores
+
+
+@pytest.fixture
+def host(sim):
+    """Single host with only the loopback device."""
+    cpus = CPUCores(sim, 2)
+    node = Node(sim, cpus, DEFAULT_COSTS, "host")
+    NetworkStack(node, IPv4Addr("10.0.0.1"))
+    return node
+
+
+@pytest.fixture
+def lan(sim):
+    """Two hosts on a switch: returns (node_a, node_b, switch)."""
+    switch = EthernetSwitch(sim, DEFAULT_COSTS)
+    nodes = []
+    for i in range(2):
+        cpus = CPUCores(sim, 2)
+        node = Node(sim, cpus, DEFAULT_COSTS, f"h{i}")
+        NetworkStack(node, IPv4Addr(f"10.0.0.{i + 1}"))
+        nic = PhysNIC(node, DEFAULT_COSTS, f"h{i}.eth0", MacAddr(0x020000000001 + i))
+        nic.connect(switch)
+        node.stack.add_device(nic)
+        nodes.append(node)
+    return nodes[0], nodes[1], switch

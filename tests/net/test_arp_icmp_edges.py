@@ -1,0 +1,107 @@
+"""ARP retry/timeout behaviour and ICMP edge cases."""
+
+import pytest
+
+from repro.net.addr import IPv4Addr
+from repro.net.arp import ARP_RETRIES, ARP_TIMEOUT
+from tests.conftest import run_gen
+
+
+class TestArpRetries:
+    def test_unanswered_resolve_retries_then_fails(self, sim, lan):
+        a, _b, _switch = lan
+        target = IPv4Addr("10.0.0.200")  # nobody home
+
+        def resolve():
+            return (yield from a.stack.arp.resolve(target))
+
+        t0 = sim.now
+        result = run_gen(sim, resolve(), timeout=60)
+        assert result is None
+        assert a.stack.arp.requests_sent == ARP_RETRIES
+        assert sim.now - t0 >= ARP_RETRIES * ARP_TIMEOUT * 0.99
+
+    def test_late_reply_wakes_waiter(self, sim, lan):
+        a, b, _switch = lan
+        # b answers only after the first timeout window: simulate by
+        # inserting the mapping into a's cache mid-resolve.
+        target = b.stack.ip
+        result = {}
+
+        def resolve():
+            result["mac"] = yield from a.stack.arp.resolve(target)
+
+        proc = sim.process(resolve())
+        sim.run_until_complete(proc, timeout=10)
+        assert result["mac"] == b.stack.primary_device().mac
+        assert a.stack.arp.requests_sent >= 1
+
+    def test_concurrent_resolvers_share_one_answer(self, sim, lan):
+        a, b, _switch = lan
+        results = []
+
+        def resolve():
+            mac = yield from a.stack.arp.resolve(b.stack.ip)
+            results.append(mac)
+
+        procs = [sim.process(resolve()) for _ in range(3)]
+        for proc in procs:
+            sim.run_until_complete(proc, timeout=10)
+        assert len(set(results)) == 1
+
+    def test_flush_forgets_entries(self, sim, lan):
+        a, b, _switch = lan
+        run_gen(sim, a.stack.arp.resolve(b.stack.ip))
+        a.stack.arp.flush()
+        assert a.stack.arp.lookup(b.stack.ip) is None
+
+
+class TestIcmpEdges:
+    def test_ident_wraps(self, host):
+        icmp = host.stack.icmp
+        icmp._next_ident = 0xFFFF
+        first = icmp.alloc_ident()
+        second = icmp.alloc_ident()
+        assert first == 0xFFFF
+        assert second == 1  # skips 0
+
+    def test_duplicate_reply_ignored(self, sim, host):
+        """A reply whose waiter already fired must not crash."""
+        stack = host.stack
+
+        def ping_twice():
+            ident = stack.icmp.alloc_ident()
+            waiter = yield from stack.icmp.send_echo(stack.ip, ident, 0)
+            yield waiter
+            # forge a second reply for the same (ident, seq)
+            from repro.net.ethernet import IPPROTO_ICMP
+            from repro.net.packet import IcmpHeader
+
+            reply = IcmpHeader(IcmpHeader.ECHO_REPLY, 0, ident, 0)
+            yield from stack.ipv4.output(stack.ip, IPPROTO_ICMP, reply, b"")
+            yield sim.timeout(0.001)
+            return True
+
+        assert run_gen(sim, ping_twice())
+
+    def test_unsolicited_reply_dropped(self, sim, host):
+        from repro.net.ethernet import IPPROTO_ICMP
+        from repro.net.packet import IcmpHeader
+
+        def send_reply():
+            reply = IcmpHeader(IcmpHeader.ECHO_REPLY, 0, 4242, 7)
+            yield from host.stack.ipv4.output(host.stack.ip, IPPROTO_ICMP, reply, b"")
+
+        run_gen(sim, send_reply())
+        sim.run(until=sim.now + 0.01)  # no exception = pass
+
+    def test_echo_counter(self, sim, host):
+        before = host.stack.icmp.echoes_answered
+
+        def ping():
+            ident = host.stack.icmp.alloc_ident()
+            waiter = yield from host.stack.icmp.send_echo(host.stack.ip, ident, 0)
+            yield waiter
+
+        run_gen(sim, ping())
+        assert host.stack.icmp.echoes_answered == before + 1

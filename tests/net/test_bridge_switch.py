@@ -1,0 +1,165 @@
+"""Learning bridge and Ethernet switch behaviour."""
+
+import pytest
+
+from repro.calibration import DEFAULT_COSTS
+from repro.net.addr import BROADCAST_MAC, IPv4Addr, MacAddr
+from repro.net.bridge import Bridge, BridgePort
+from repro.net.ethernet import ETH_P_IP
+from repro.net.nic import EthernetSwitch, PhysNIC
+from repro.net.packet import EthHeader, Packet
+from repro.sim.resources import CPUCores
+from repro.net.node import Node
+
+
+class _SinkPort(BridgePort):
+    """Test port that records delivered frames."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.frames = []
+
+    def deliver(self, packet):
+        self.frames.append(packet)
+        return
+        yield  # pragma: no cover
+
+
+@pytest.fixture
+def dom0(sim):
+    cpus = CPUCores(sim, 2)
+    return Node(sim, cpus, DEFAULT_COSTS, "dom0")
+
+
+def frame(src, dst, tag=b"x"):
+    return Packet(payload=tag, eth=EthHeader(MacAddr(dst), MacAddr(src), ETH_P_IP))
+
+
+class TestBridge:
+    def test_unknown_unicast_flooded(self, sim, dom0):
+        bridge = Bridge(dom0)
+        p1, p2, p3 = _SinkPort("p1"), _SinkPort("p2"), _SinkPort("p3")
+        for p in (p1, p2, p3):
+            bridge.add_port(p)
+        bridge.input(p1, frame(src=1, dst=99))
+        sim.run()
+        assert len(p2.frames) == 1 and len(p3.frames) == 1
+        assert not p1.frames  # never back out the ingress port
+
+    def test_learned_unicast_forwarded_only(self, sim, dom0):
+        bridge = Bridge(dom0)
+        p1, p2, p3 = _SinkPort("p1"), _SinkPort("p2"), _SinkPort("p3")
+        for p in (p1, p2, p3):
+            bridge.add_port(p)
+        bridge.input(p2, frame(src=42, dst=99))  # learn 42 -> p2
+        sim.run()
+        p2.frames.clear()
+        p3.frames.clear()
+        bridge.input(p1, frame(src=1, dst=42))
+        sim.run()
+        assert len(p2.frames) == 1
+        assert not p3.frames
+        assert bridge.frames_forwarded == 1
+
+    def test_broadcast_always_floods(self, sim, dom0):
+        bridge = Bridge(dom0)
+        p1, p2 = _SinkPort("p1"), _SinkPort("p2")
+        bridge.add_port(p1)
+        bridge.add_port(p2)
+        bcast = Packet(payload=b"b", eth=EthHeader(BROADCAST_MAC, MacAddr(1), ETH_P_IP))
+        bridge.input(p1, bcast)
+        sim.run()
+        assert len(p2.frames) == 1
+
+    def test_remove_port_clears_fdb(self, sim, dom0):
+        bridge = Bridge(dom0)
+        p1, p2 = _SinkPort("p1"), _SinkPort("p2")
+        bridge.add_port(p1)
+        bridge.add_port(p2)
+        bridge.input(p2, frame(src=42, dst=99))
+        sim.run()
+        bridge.remove_port(p2)
+        assert MacAddr(42) not in bridge._fdb
+        # frames to 42 now flood to remaining ports only
+        bridge.input(p1, frame(src=1, dst=42))
+        sim.run()
+        assert not p2.frames or len(p2.frames) == 1  # p2 got only the learn frame
+
+    def test_forget_single_mac(self, sim, dom0):
+        bridge = Bridge(dom0)
+        p1 = _SinkPort("p1")
+        bridge.add_port(p1)
+        bridge.input(p1, frame(src=42, dst=99))
+        sim.run()
+        bridge.forget(MacAddr(42))
+        assert MacAddr(42) not in bridge._fdb
+
+    def test_dom0_injection_floods_everywhere(self, sim, dom0):
+        """in_port=None (discovery announcements) reaches all ports."""
+        bridge = Bridge(dom0)
+        p1, p2 = _SinkPort("p1"), _SinkPort("p2")
+        bridge.add_port(p1)
+        bridge.add_port(p2)
+        bridge.input(None, frame(src=0xFE, dst=7))
+        sim.run()
+        assert len(p1.frames) == 1 and len(p2.frames) == 1
+
+
+class TestSwitch:
+    def _lan(self, sim, n=3):
+        switch = EthernetSwitch(sim, DEFAULT_COSTS)
+        nics = []
+        for i in range(n):
+            node = Node(sim, CPUCores(sim, 1), DEFAULT_COSTS, f"n{i}")
+            from repro.net.stack import NetworkStack
+
+            NetworkStack(node, IPv4Addr(f"10.9.0.{i + 1}"))
+            nic = PhysNIC(node, DEFAULT_COSTS, f"n{i}.eth0", MacAddr(0x0A0000000001 + i))
+            nic.connect(switch)
+            node.stack.add_device(nic)
+            nics.append(nic)
+        return switch, nics
+
+    def test_flood_then_learn(self, sim):
+        switch, nics = self._lan(sim)
+
+        def send(nic, dst_mac):
+            pkt = Packet(payload=b"t", eth=EthHeader(dst_mac, nic.mac, ETH_P_IP))
+            nic.queue_xmit(pkt)
+
+        send(nics[0], nics[1].mac)  # dst unknown: flooded
+        sim.run(until=sim.now + 0.01)
+        assert switch.frames_flooded == 1
+        send(nics[1], nics[0].mac)  # 0's mac was learned from frame 1
+        sim.run(until=sim.now + 0.01)
+        assert switch.frames_forwarded == 1
+
+    def test_double_attach_rejected(self, sim):
+        switch, nics = self._lan(sim, n=1)
+        with pytest.raises(ValueError):
+            switch.attach(nics[0])
+
+    def test_forget(self, sim):
+        switch, nics = self._lan(sim, n=2)
+        pkt = Packet(payload=b"t", eth=EthHeader(nics[1].mac, nics[0].mac, ETH_P_IP))
+        nics[0].queue_xmit(pkt)
+        sim.run(until=sim.now + 0.01)
+        switch.forget(nics[0].mac)
+        assert nics[0].mac not in switch._fdb
+
+    def test_wire_serialization_orders_frames(self, sim):
+        """Frames queued back-to-back arrive separated by wire time."""
+        switch, nics = self._lan(sim, n=2)
+        arrivals = []
+        orig = nics[1].deliver_up
+        nics[1].deliver_up = lambda pkt: (arrivals.append(sim.now), orig(pkt))
+        for _ in range(3):
+            pkt = Packet(
+                payload=bytes(1000), eth=EthHeader(nics[1].mac, nics[0].mac, ETH_P_IP)
+            )
+            nics[0].queue_xmit(pkt)
+        sim.run(until=sim.now + 0.01)
+        assert len(arrivals) == 3
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        min_gap = DEFAULT_COSTS.wire_time(1014)
+        assert all(g >= min_gap * 0.99 for g in gaps)

@@ -1,0 +1,159 @@
+"""IPv4 edge cases: reassembly timeouts, routing, malformed input."""
+
+import pytest
+
+from repro.net.addr import IPv4Addr
+from repro.net.ethernet import IPPROTO_UDP
+from repro.net.ipv4 import FRAG_TIMEOUT, Reassembler, RoutingError
+from repro.net.packet import IPv4Header, Packet
+from repro.net.stack import NetworkStack
+from repro.net.node import Node
+from repro.calibration import DEFAULT_COSTS
+from repro.sim.resources import CPUCores
+
+
+def make_fragment(sim_ignored, ident, offset, payload, more):
+    ip = IPv4Header(
+        src=IPv4Addr("10.0.0.1"),
+        dst=IPv4Addr("10.0.0.2"),
+        proto=IPPROTO_UDP,
+        ident=ident,
+        frag_offset=offset,
+        more_frags=more,
+    )
+    pkt = Packet(payload=payload, ip=ip)
+    pkt.ip.total_length = pkt.l3_len
+    return pkt
+
+
+class TestReassembler:
+    def test_in_order_reassembly(self, sim):
+        r = Reassembler(sim)
+        from repro.net.packet import UdpHeader
+
+        body = UdpHeader(1, 2, 8 + 24).to_bytes() + bytes(range(24))
+        assert r.add(make_fragment(sim, 7, 0, body[:16], True)) is None
+        full = r.add(make_fragment(sim, 7, 16, body[16:], False))
+        assert full is not None
+        assert full.payload == bytes(range(24))
+        assert r.completed == 1
+
+    def test_out_of_order_reassembly(self, sim):
+        r = Reassembler(sim)
+        from repro.net.packet import UdpHeader
+
+        body = UdpHeader(1, 2, 8 + 24).to_bytes() + bytes(range(24))
+        assert r.add(make_fragment(sim, 8, 16, body[16:], False)) is None
+        full = r.add(make_fragment(sim, 8, 0, body[:16], True))
+        assert full is not None and full.payload == bytes(range(24))
+
+    def test_interleaved_datagrams_keyed_separately(self, sim):
+        r = Reassembler(sim)
+        from repro.net.packet import UdpHeader
+
+        body_a = UdpHeader(1, 2, 8 + 8).to_bytes() + b"AAAAAAAA"
+        body_b = UdpHeader(1, 2, 8 + 8).to_bytes() + b"BBBBBBBB"
+        assert r.add(make_fragment(sim, 1, 0, body_a[:8], True)) is None
+        assert r.add(make_fragment(sim, 2, 0, body_b[:8], True)) is None
+        full_b = r.add(make_fragment(sim, 2, 8, body_b[8:], False))
+        full_a = r.add(make_fragment(sim, 1, 8, body_a[8:], False))
+        assert full_a.payload == b"AAAAAAAA"
+        assert full_b.payload == b"BBBBBBBB"
+
+    def test_stale_buffers_purged(self, sim):
+        r = Reassembler(sim)
+        r.add(make_fragment(sim, 9, 0, bytes(16), True))  # never completed
+        assert r.pending == 1
+        sim.run(until=FRAG_TIMEOUT + 1)
+        # purge happens lazily on the next completed reassembly
+        from repro.net.packet import UdpHeader
+
+        body = UdpHeader(1, 2, 8 + 8).to_bytes() + bytes(8)
+        r.add(make_fragment(sim, 10, 0, body[:8], True))
+        r.add(make_fragment(sim, 10, 8, body[8:], False))
+        assert r.timed_out == 1
+        assert r.pending == 0
+
+    def test_missing_middle_fragment_incomplete(self, sim):
+        r = Reassembler(sim)
+        assert r.add(make_fragment(sim, 11, 0, bytes(16), True)) is None
+        assert r.add(make_fragment(sim, 11, 32, bytes(8), False)) is None
+        assert r.completed == 0
+
+
+class TestRouting:
+    def _host(self, sim, gateway=None):
+        node = Node(sim, CPUCores(sim, 1), DEFAULT_COSTS, "h")
+        NetworkStack(node, IPv4Addr("10.0.0.1"), prefix_len=24, gateway=gateway)
+        return node
+
+    def test_self_routes_to_loopback(self, sim):
+        node = self._host(sim)
+        dev, next_hop = node.stack.ipv4.route(IPv4Addr("10.0.0.1"))
+        assert dev is node.stack.loopback
+        assert next_hop is None
+
+    def test_no_device_raises(self, sim):
+        node = self._host(sim)
+        with pytest.raises(RoutingError):
+            node.stack.ipv4.route(IPv4Addr("10.0.0.2"))
+
+    def test_off_subnet_without_gateway_raises(self, sim, lan):
+        a, _b, _switch = lan
+        with pytest.raises(RoutingError):
+            a.stack.ipv4.route(IPv4Addr("192.168.9.9"))
+
+    def test_gateway_used_off_subnet(self, sim, lan):
+        a, b, _switch = lan
+        a.stack.gateway = b.stack.ip
+        dev, next_hop = a.stack.ipv4.route(IPv4Addr("192.168.9.9"))
+        assert next_hop == b.stack.ip
+        assert dev is a.stack.primary_device()
+
+    def test_on_subnet_next_hop_is_destination(self, sim, lan):
+        a, b, _switch = lan
+        dev, next_hop = a.stack.ipv4.route(b.stack.ip)
+        assert next_hop == b.stack.ip
+
+
+class TestInputValidation:
+    def test_packet_for_other_host_dropped(self, sim, lan):
+        a, b, _switch = lan
+        from tests.conftest import run_gen
+
+        # craft a unicast frame to b's MAC but a third party's IP
+        from repro.net.ethernet import ETH_P_IP, IPPROTO_UDP
+        from repro.net.packet import EthHeader, UdpHeader
+
+        pkt = Packet(
+            payload=b"zz",
+            l4=UdpHeader(1, 2, 10),
+            ip=IPv4Header(a.stack.ip, IPv4Addr("10.0.0.77"), IPPROTO_UDP),
+            eth=EthHeader(b.stack.primary_device().mac, a.stack.primary_device().mac, ETH_P_IP),
+        )
+        pkt.ip.total_length = pkt.l3_len
+        dropped_before = b.stack.ipv4.dropped
+
+        def send():
+            dev = a.stack.primary_device()
+            yield a.exec(dev.tx_cost(pkt))
+            yield dev.queue_xmit(pkt)
+
+        run_gen(sim, send())
+        sim.run(until=sim.now + 0.01)
+        assert b.stack.ipv4.dropped == dropped_before + 1
+
+    def test_unknown_protocol_dropped(self, sim, host):
+        from tests.conftest import run_gen
+        from repro.net.packet import IcmpHeader
+
+        node = host
+
+        def send():
+            hdr = IcmpHeader(8, 0, 1, 1)
+            yield from node.stack.ipv4.output(node.stack.ip, 199, hdr, b"?")
+
+        dropped_before = node.stack.ipv4.dropped
+        run_gen(sim, send())
+        sim.run(until=sim.now + 0.01)
+        assert node.stack.ipv4.dropped == dropped_before + 1

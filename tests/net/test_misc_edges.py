@@ -1,0 +1,101 @@
+"""Assorted small edge cases across the net layer."""
+
+import pytest
+
+from repro.net.addr import IPv4Addr
+from repro.net.node import Node
+from repro.net.stack import NetworkStack
+from repro.calibration import DEFAULT_COSTS
+from repro.sim.resources import CPUCores
+from tests.conftest import run_gen
+
+
+class TestRxNetworkInjection:
+    def test_layer3_injection_reaches_transport(self, sim, host):
+        """stack.rx_network is the XenLoop receive entry: a packet with
+        no ethernet header still demuxes to the right socket."""
+        from repro.net.ethernet import IPPROTO_UDP
+        from repro.net.packet import IPv4Header, Packet, UdpHeader
+
+        sock = host.stack.udp_socket(9701)
+        pkt = Packet(
+            payload=b"injected",
+            l4=UdpHeader(1234, 9701, 8 + 8),
+            ip=IPv4Header(IPv4Addr("10.0.0.9"), host.stack.ip, IPPROTO_UDP),
+        )
+        pkt.ip.total_length = pkt.l3_len
+        host.stack.rx_network(pkt)
+
+        def srv():
+            data, addr = yield from sock.recvfrom()
+            return data, addr
+
+        data, (src, sport) = run_gen(sim, srv())
+        assert data == b"injected"
+        assert src == IPv4Addr("10.0.0.9") and sport == 1234
+
+    def test_injection_for_unknown_protocol_dropped(self, sim, host):
+        from repro.net.packet import IPv4Header, Packet
+
+        pkt = Packet(payload=b"?", ip=IPv4Header(IPv4Addr(9), host.stack.ip, 200))
+        pkt.ip.total_length = pkt.l3_len
+        dropped = host.stack.ipv4.dropped
+        host.stack.rx_network(pkt)
+        sim.run(until=sim.now + 0.01)
+        assert host.stack.ipv4.dropped == dropped + 1
+
+
+class TestNodeBasics:
+    def test_spawn_names_processes(self, sim):
+        node = Node(sim, CPUCores(sim, 1), DEFAULT_COSTS, "n1")
+
+        def gen():
+            yield sim.timeout(0)
+
+        proc = node.spawn(gen(), name="worker")
+        assert proc.name == "n1:worker"
+
+    def test_exec_zero_cost_completes(self, sim):
+        node = Node(sim, CPUCores(sim, 1), DEFAULT_COSTS, "n1")
+
+        def gen():
+            yield node.exec(0.0)
+            return sim.now
+
+        assert run_gen(sim, gen()) == 0.0
+
+    def test_two_stacks_same_cores_contend(self, sim):
+        cpus = CPUCores(sim, 1)
+        done = []
+        for name in ("a", "b"):
+            node = Node(sim, cpus, DEFAULT_COSTS, name)
+            ev = node.exec(1.0)
+            ev.callbacks.append(lambda _e, n=name: done.append((n, sim.now)))
+        sim.run()
+        assert done[0][1] == 1.0 and done[1][1] > 1.0  # serialized on 1 core
+
+
+class TestVifMtuAndGso:
+    def test_vif_advertises_gso(self, sim):
+        from repro.xen.machine import XenMachine
+
+        machine = XenMachine(sim, DEFAULT_COSTS, "m0")
+        guest = machine.create_guest("vm1", ip=IPv4Addr("10.0.0.1"))
+        vif = guest.netfront.vif
+        assert vif.gso
+        assert vif.mtu == 1500
+
+    def test_loopback_mtu_is_64k(self, host):
+        assert host.stack.loopback.mtu == 65535
+        assert host.stack.loopback.gso
+
+    def test_vif_tx_cost_scales_with_pages(self, sim):
+        from repro.net.packet import Packet
+        from repro.xen.machine import XenMachine
+
+        machine = XenMachine(sim, DEFAULT_COSTS, "m0")
+        guest = machine.create_guest("vm1", ip=IPv4Addr("10.0.0.1"))
+        vif = guest.netfront.vif
+        small = vif.tx_cost(Packet(payload=bytes(100)))
+        big = vif.tx_cost(Packet(payload=bytes(16000)))
+        assert big > small  # more grant entries for more pages

@@ -1,0 +1,164 @@
+"""The BSD-style socket facade."""
+
+import pytest
+
+from repro import scenarios
+from repro.net.sockets import SOCK_DGRAM, SOCK_STREAM, Socket, SocketError
+from tests.core.conftest import FAST
+
+
+@pytest.fixture
+def xl():
+    scn = scenarios.xenloop(FAST)
+    scn.warmup(max_wait=10.0)
+    return scn
+
+
+class TestStream:
+    def test_client_server_roundtrip(self, xl):
+        sim = xl.sim
+        server = Socket(xl.node_b, SOCK_STREAM)
+        server.bind(("0.0.0.0", 8901))
+        server.listen()
+        out = {}
+
+        def srv():
+            child, peer = yield from server.accept()
+            out["peer"] = peer
+            req = yield from child.recv_exactly(5)
+            yield from child.sendall(req.upper())
+            yield from child.close()
+
+        def cli():
+            sock = Socket(xl.node_a, SOCK_STREAM)
+            yield from sock.connect((str(xl.ip_b), 8901))
+            yield from sock.sendall(b"hello")
+            out["reply"] = yield from sock.recv_exactly(5)
+            yield from sock.close()
+
+        sim.process(srv())
+        proc = sim.process(cli())
+        sim.run_until_complete(proc, timeout=10)
+        assert out["reply"] == b"HELLO"
+        assert out["peer"][0] == str(xl.ip_a)
+
+    def test_accept_before_listen_raises(self, xl):
+        sock = Socket(xl.node_b, SOCK_STREAM)
+        sock.bind(("0.0.0.0", 8902))
+        with pytest.raises(SocketError):
+            next(sock.accept())
+
+    def test_listen_before_bind_raises(self, xl):
+        sock = Socket(xl.node_b, SOCK_STREAM)
+        with pytest.raises(SocketError):
+            sock.listen()
+
+    def test_send_unconnected_raises(self, xl):
+        sock = Socket(xl.node_a, SOCK_STREAM)
+        with pytest.raises(SocketError):
+            next(sock.sendall(b"x"))
+
+    def test_datagram_op_on_stream_raises(self, xl):
+        sock = Socket(xl.node_a, SOCK_STREAM)
+        with pytest.raises(SocketError):
+            next(sock.sendto(b"x", ("10.0.0.2", 1)))
+
+    def test_bind_foreign_ip_rejected(self, xl):
+        sock = Socket(xl.node_a, SOCK_STREAM)
+        with pytest.raises(SocketError):
+            sock.bind(("1.2.3.4", 80))
+
+
+class TestDatagram:
+    def test_sendto_recvfrom(self, xl):
+        sim = xl.sim
+        server = Socket(xl.node_b, SOCK_DGRAM)
+        server.bind(("0.0.0.0", 8903))
+        out = {}
+
+        def srv():
+            data, addr = yield from server.recvfrom()
+            out["got"] = (data, addr)
+
+        def cli():
+            sock = Socket(xl.node_a, SOCK_DGRAM)
+            yield from sock.sendto(b"dgram", (str(xl.ip_b), 8903))
+
+        sim.process(cli())
+        proc = sim.process(srv())
+        sim.run_until_complete(proc, timeout=10)
+        data, (ip, _port) = out["got"]
+        assert data == b"dgram"
+        assert ip == str(xl.ip_a)
+
+    def test_implicit_bind_on_send(self, xl):
+        sim = xl.sim
+        sock = Socket(xl.node_a, SOCK_DGRAM)
+
+        def cli():
+            yield from sock.sendto(b"x", (str(xl.ip_b), 9))
+
+        proc = sim.process(cli())
+        sim.run_until_complete(proc, timeout=10)
+        assert sock.getsockname()[1] != 0
+
+    def test_recvfrom_unbound_raises(self, xl):
+        sock = Socket(xl.node_a, SOCK_DGRAM)
+        with pytest.raises(SocketError):
+            next(sock.recvfrom())
+
+    def test_close_frees_port(self, xl):
+        sim = xl.sim
+        sock = Socket(xl.node_a, SOCK_DGRAM)
+        sock.bind(("0.0.0.0", 8904))
+
+        def closer():
+            yield from sock.close()
+
+        sim.run_until_complete(sim.process(closer()), timeout=5)
+        rebind = Socket(xl.node_a, SOCK_DGRAM)
+        rebind.bind(("0.0.0.0", 8904))
+
+    def test_ops_after_close_raise(self, xl):
+        sim = xl.sim
+        sock = Socket(xl.node_a, SOCK_DGRAM)
+
+        def closer():
+            yield from sock.close()
+
+        sim.run_until_complete(sim.process(closer()), timeout=5)
+        with pytest.raises(SocketError):
+            next(sock.sendto(b"x", (str(xl.ip_b), 1)))
+
+
+class TestTransparencyOverBypass:
+    def test_same_code_runs_over_socket_bypass_module(self):
+        """The facade code is identical whether the transport underneath
+        is TCP or the experimental bypass stream."""
+        scn = scenarios.xenloop(FAST, socket_bypass=True)
+        scn.warmup(max_wait=10.0)
+        sim = scn.sim
+        server = Socket(scn.node_b, SOCK_STREAM)
+        server.bind(("0.0.0.0", 8905))
+        server.listen()
+        out = {}
+
+        def srv():
+            child, _peer = yield from server.accept()
+            data = yield from child.recv_exactly(4)
+            yield from child.sendall(data[::-1])
+
+        def cli():
+            sock = Socket(scn.node_a, SOCK_STREAM)
+            yield from sock.connect((str(scn.ip_b), 8905))
+            yield from sock.sendall(b"abcd")
+            out["reply"] = yield from sock.recv_exactly(4)
+
+        sim.process(srv())
+        proc = sim.process(cli())
+        sim.run_until_complete(proc, timeout=10)
+        assert out["reply"] == b"dcba"
+        from repro.core.socket_bypass import BypassConnection
+
+        # it really did run over the bypass stream
+        assert scn.xenloop_module(scn.node_a).bypass_connects >= 1

@@ -1,0 +1,131 @@
+"""UDP transport: sockets, demux, buffer drops, fragmentation path."""
+
+import pytest
+
+from repro.net.udp import MAX_DGRAM
+from tests.conftest import run_gen
+
+
+class TestSockets:
+    def test_bind_specific_port(self, host):
+        sock = host.stack.udp_socket(5000)
+        assert sock.port == 5000
+
+    def test_ephemeral_allocation(self, host):
+        a = host.stack.udp_socket()
+        b = host.stack.udp_socket()
+        assert a.port != b.port
+
+    def test_double_bind_rejected(self, host):
+        host.stack.udp_socket(5000)
+        with pytest.raises(OSError):
+            host.stack.udp_socket(5000)
+
+    def test_close_frees_port(self, host):
+        sock = host.stack.udp_socket(5000)
+        sock.close()
+        host.stack.udp_socket(5000)  # rebind works
+
+    def test_send_on_closed_raises(self, sim, host):
+        sock = host.stack.udp_socket(5000)
+        sock.close()
+        with pytest.raises(OSError):
+            run_gen(sim, sock.sendto(b"x", (host.stack.ip, 1)))
+
+    def test_oversized_datagram_rejected(self, sim, host):
+        sock = host.stack.udp_socket()
+        with pytest.raises(ValueError):
+            run_gen(sim, sock.sendto(bytes(MAX_DGRAM + 1), (host.stack.ip, 1)))
+
+
+class TestDelivery:
+    def test_loopback_roundtrip(self, sim, host):
+        server = host.stack.udp_socket(6000)
+        client = host.stack.udp_socket()
+
+        def gen():
+            yield from client.sendto(b"ping", (host.stack.ip, 6000))
+            data, addr = yield from server.recvfrom()
+            return data, addr
+
+        data, addr = run_gen(sim, gen())
+        assert data == b"ping"
+        assert addr == (host.stack.ip, client.port)
+
+    def test_inter_machine_roundtrip(self, sim, lan):
+        a, b, _ = lan
+        server = b.stack.udp_socket(6000)
+        client = a.stack.udp_socket()
+
+        def srv():
+            data, addr = yield from server.recvfrom()
+            yield from server.sendto(data.upper(), addr)
+
+        def cli():
+            yield from client.sendto(b"hello", (b.stack.ip, 6000))
+            data, _addr = yield from client.recvfrom()
+            return data
+
+        sim.process(srv())
+        assert run_gen(sim, cli()) == b"HELLO"
+
+    def test_large_datagram_fragmented_on_wire(self, sim, lan):
+        a, b, _ = lan
+        server = b.stack.udp_socket(6000)
+        client = a.stack.udp_socket()
+        payload = bytes(range(256)) * 20  # 5120 bytes > MTU
+
+        def cli():
+            yield from client.sendto(payload, (b.stack.ip, 6000))
+
+        def srv():
+            data, _ = yield from server.recvfrom()
+            return data
+
+        sim.process(cli())
+        got = run_gen(sim, srv())
+        assert got == payload
+        assert b.stack.ipv4.reassembler.completed == 1
+
+    def test_unbound_port_counts_no_socket(self, sim, lan):
+        a, b, _ = lan
+        client = a.stack.udp_socket()
+
+        def cli():
+            yield from client.sendto(b"x", (b.stack.ip, 7777))
+
+        run_gen(sim, cli())
+        sim.run(until=sim.now + 0.01)
+        assert b.stack.udp.rx_no_socket == 1
+
+    def test_rcvbuf_overflow_drops(self, sim, host):
+        server = host.stack.udp_socket(6000, rcvbuf=100)
+        client = host.stack.udp_socket()
+
+        def cli():
+            for _ in range(5):
+                yield from client.sendto(bytes(40), (host.stack.ip, 6000))
+
+        run_gen(sim, cli())
+        sim.run(until=sim.now + 0.01)
+        assert server.drops == 3  # only two 40-byte datagrams fit in 100
+        assert server.rx_msgs == 2
+
+    def test_multiple_receivers_queue_order(self, sim, host):
+        server = host.stack.udp_socket(6000)
+        client = host.stack.udp_socket()
+
+        def cli():
+            for i in range(3):
+                yield from client.sendto(bytes([i]), (host.stack.ip, 6000))
+
+        got = []
+
+        def srv():
+            for _ in range(3):
+                data, _ = yield from server.recvfrom()
+                got.append(data[0])
+
+        sim.process(cli())
+        run_gen(sim, srv())
+        assert got == [0, 1, 2]

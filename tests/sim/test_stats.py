@@ -1,0 +1,105 @@
+"""Tests for measurement probes."""
+
+import pytest
+
+from repro.sim.stats import Counter, LatencyProbe, ThroughputProbe, TimeSeries, summarize
+
+
+class TestCounter:
+    def test_add(self):
+        c = Counter("x")
+        c.add()
+        c.add(4)
+        assert c.value == 5
+
+    def test_negative_rejected(self):
+        c = Counter()
+        with pytest.raises(ValueError):
+            c.add(-1)
+
+
+class TestTimeSeries:
+    def test_record_and_iterate(self):
+        ts = TimeSeries()
+        ts.record(0.0, 1.0)
+        ts.record(1.0, 2.0)
+        assert list(ts) == [(0.0, 1.0), (1.0, 2.0)]
+        assert len(ts) == 2
+
+    def test_out_of_order_rejected(self):
+        ts = TimeSeries()
+        ts.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.record(4.0, 1.0)
+
+
+class TestLatencyProbe:
+    def test_mean(self):
+        p = LatencyProbe()
+        for v in (1e-6, 2e-6, 3e-6):
+            p.record(v)
+        assert p.mean == pytest.approx(2e-6)
+        assert p.mean_us == pytest.approx(2.0)
+        assert p.count == 3
+
+    def test_negative_rejected(self):
+        p = LatencyProbe()
+        with pytest.raises(ValueError):
+            p.record(-1.0)
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            _ = LatencyProbe().mean
+
+    def test_percentile(self):
+        p = LatencyProbe()
+        for v in range(1, 101):
+            p.record(float(v))
+        assert p.percentile(50) == pytest.approx(50.5)
+        assert p.percentile(0) == 1.0
+        assert p.percentile(100) == 100.0
+
+    def test_percentile_bounds(self):
+        p = LatencyProbe()
+        p.record(1.0)
+        with pytest.raises(ValueError):
+            p.percentile(101)
+
+
+class TestThroughputProbe:
+    def test_rate(self):
+        p = ThroughputProbe()
+        p.record(100, 0.0)
+        p.record(100, 1.0)
+        p.record(100, 2.0)
+        assert p.rate() == pytest.approx(150.0)
+
+    def test_mbps(self):
+        p = ThroughputProbe()
+        p.record(0, 0.0)
+        p.record(1_000_000, 8.0)
+        assert p.mbps() == pytest.approx(1.0)
+
+    def test_no_samples_raises(self):
+        with pytest.raises(ValueError):
+            ThroughputProbe().rate()
+
+    def test_zero_interval_raises(self):
+        p = ThroughputProbe()
+        p.record(10, 1.0)
+        with pytest.raises(ValueError):
+            p.rate()
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s["n"] == 3
+        assert s["min"] == 1.0
+        assert s["max"] == 3.0
+        assert s["mean"] == pytest.approx(2.0)
+        assert s["stdev"] == pytest.approx(0.8164965, rel=1e-5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])

@@ -1,0 +1,100 @@
+"""Mini-MPI message framing over simulated TCP."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import scenarios
+from repro.mpi import mpi_connect_pair
+
+FAST = scenarios.DEFAULT_COSTS.replace(discovery_period=0.2)
+
+
+def make_pair(port=9400):
+    scn = scenarios.native_loopback(FAST)
+    sim = scn.sim
+    rank0_connect, rank1_accept = mpi_connect_pair(scn, port=port)
+    result = {}
+
+    def r0():
+        result["c0"] = yield from rank0_connect()
+
+    def r1():
+        result["c1"] = yield from rank1_accept()
+
+    sim.process(r1())
+    proc = sim.process(r0())
+    sim.run_until_complete(proc, timeout=10)
+    sim.run(until=sim.now + 0.01)
+    return scn, result["c0"], result["c1"]
+
+
+class TestFraming:
+    def test_message_boundaries_preserved(self, ):
+        scn, c0, c1 = make_pair()
+        sim = scn.sim
+        msgs = [b"first", b"", b"third-message" * 100]
+
+        def sender():
+            for m in msgs:
+                yield from c0.send(m)
+
+        got = []
+
+        def receiver():
+            for _ in msgs:
+                got.append((yield from c1.recv()))
+
+        sim.process(sender())
+        proc = sim.process(receiver())
+        sim.run_until_complete(proc, timeout=30)
+        assert got == msgs
+
+    def test_counters(self):
+        scn, c0, c1 = make_pair(port=9401)
+        sim = scn.sim
+
+        def sender():
+            yield from c0.send(b"x")
+
+        def receiver():
+            yield from c1.recv()
+
+        sim.process(sender())
+        proc = sim.process(receiver())
+        sim.run_until_complete(proc, timeout=10)
+        assert c0.msgs_sent == 1
+        assert c1.msgs_received == 1
+
+    def test_bidirectional_interleaving(self):
+        scn, c0, c1 = make_pair(port=9402)
+        sim = scn.sim
+
+        def r0():
+            yield from c0.send(b"ping")
+            reply = yield from c0.recv()
+            return reply
+
+        def r1():
+            data = yield from c1.recv()
+            yield from c1.send(data + b"-pong")
+
+        sim.process(r1())
+        proc = sim.process(r0())
+        assert sim.run_until_complete(proc, timeout=10) == b"ping-pong"
+
+    @settings(max_examples=10, deadline=None)
+    @given(payload=st.binary(min_size=0, max_size=50000))
+    def test_arbitrary_payload_roundtrip(self, payload):
+        scn, c0, c1 = make_pair(port=9403)
+        sim = scn.sim
+
+        def sender():
+            yield from c0.send(payload)
+
+        def receiver():
+            return (yield from c1.recv())
+
+        sim.process(sender())
+        proc = sim.process(receiver())
+        assert sim.run_until_complete(proc, timeout=60) == payload

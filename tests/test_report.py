@@ -1,0 +1,57 @@
+"""Formatting helpers used by the benchmark harness."""
+
+import pytest
+
+from repro.report import format_series, format_table, ratio
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(
+            "T", ["a", "b"], [("row1", {"a": 1.0, "b": 2.5})], precision=1
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "row1" in text and "1.0" in text and "2.5" in text
+
+    def test_missing_value_dash(self):
+        text = format_table("T", ["a", "b"], [("r", {"a": 1.0})])
+        assert "-" in text.splitlines()[-1]
+
+    def test_units(self):
+        text = format_table("T", ["a"], [("lat", {"a": 5.0})], unit_by_row={"lat": "us"})
+        assert "lat (us)" in text
+
+    def test_thousands_separator(self):
+        text = format_table("T", ["a"], [("r", {"a": 12345.0})], precision=0)
+        assert "12,345" in text
+
+    def test_column_alignment(self):
+        text = format_table(
+            "T",
+            ["col"],
+            [("short", {"col": 1.0}), ("much_longer_label", {"col": 22.0})],
+        )
+        lines = text.splitlines()
+        # all rows have equal width
+        assert len(set(len(l) for l in lines[2:])) <= 2
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        text = format_series("S", "x", [1, 2], {"y1": [10.0, 20.0], "y2": [1.0, 2.0]})
+        assert "y1" in text and "y2" in text
+        assert "20.0" in text
+
+    def test_short_series_padded(self):
+        text = format_series("S", "x", [1, 2], {"y": [10.0]})
+        assert text.splitlines()[-1].strip().endswith("-")
+
+
+class TestRatio:
+    def test_ratio(self):
+        assert ratio(10, 4) == 2.5
+
+    def test_zero_denominator(self):
+        with pytest.raises(ValueError):
+            ratio(1, 0)

@@ -1,0 +1,155 @@
+"""Event-channel semantics: binding, 1-bit coalescing, teardown races."""
+
+import pytest
+
+from repro.calibration import DEFAULT_COSTS
+from repro.sim.engine import Simulator
+from repro.xen.event_channel import EventChannelError, EventChannelSubsys
+
+
+@pytest.fixture
+def evtchn(sim):
+    # Direct execution: charge nothing, run handler synchronously.
+    def exec_in_domain(domid, cost, fn):
+        fn()
+
+    return EventChannelSubsys(sim, DEFAULT_COSTS, exec_in_domain)
+
+
+def make_pair(evtchn):
+    p1 = evtchn.alloc_unbound(1, 2)
+    p2 = evtchn.bind_interdomain(2, 1, p1.port)
+    return p1, p2
+
+
+class TestBinding:
+    def test_bind_links_peers(self, evtchn):
+        p1, p2 = make_pair(evtchn)
+        assert p1.peer is p2 and p2.peer is p1
+
+    def test_bind_unknown_port(self, evtchn):
+        with pytest.raises(EventChannelError):
+            evtchn.bind_interdomain(2, 1, 999)
+
+    def test_bind_reserved_for_other_domain(self, evtchn):
+        p1 = evtchn.alloc_unbound(1, 2)
+        with pytest.raises(EventChannelError):
+            evtchn.bind_interdomain(3, 1, p1.port)
+
+    def test_double_bind_rejected(self, evtchn):
+        p1 = evtchn.alloc_unbound(1, 2)
+        evtchn.bind_interdomain(2, 1, p1.port)
+        with pytest.raises(EventChannelError):
+            evtchn.bind_interdomain(2, 1, p1.port)
+
+    def test_port_numbers_per_domain(self, evtchn):
+        a = evtchn.alloc_unbound(1, 2)
+        b = evtchn.alloc_unbound(1, 2)
+        assert a.port != b.port
+
+
+class TestNotification:
+    def test_notify_runs_handler(self, sim, evtchn):
+        p1, p2 = make_pair(evtchn)
+        hits = []
+        evtchn.set_handler(p2, lambda: hits.append(sim.now))
+        evtchn.notify(p1)
+        sim.run()
+        assert len(hits) == 1
+        # delivery latency is jittered around the calibrated mean
+        base = DEFAULT_COSTS.virq_delivery_latency
+        spread = DEFAULT_COSTS.virq_jitter / 2
+        assert base * (1 - spread) <= hits[0] <= base * (1 + spread)
+
+    def test_coalescing_one_upcall_for_burst(self, sim, evtchn):
+        p1, p2 = make_pair(evtchn)
+        hits = []
+        evtchn.set_handler(p2, lambda: hits.append(sim.now))
+        for _ in range(10):
+            evtchn.notify(p1)
+        sim.run()
+        assert len(hits) == 1
+        assert p1.notifies_coalesced == 9
+
+    def test_notify_after_delivery_triggers_again(self, sim, evtchn):
+        p1, p2 = make_pair(evtchn)
+        hits = []
+        evtchn.set_handler(p2, lambda: hits.append(sim.now))
+        evtchn.notify(p1)
+        sim.run()
+        evtchn.notify(p1)
+        sim.run()
+        assert len(hits) == 2
+
+    def test_notify_during_handler_redelivers(self, sim, evtchn):
+        """The clear-before-handle race: a notify landing while the handler
+        runs must produce a fresh upcall."""
+        p1, p2 = make_pair(evtchn)
+        hits = []
+
+        def handler():
+            hits.append(sim.now)
+            if len(hits) == 1:
+                evtchn.notify(p1)  # peer pokes us again mid-handler
+
+        evtchn.set_handler(p2, handler)
+        evtchn.notify(p1)
+        sim.run()
+        assert len(hits) == 2
+
+    def test_bidirectional(self, sim, evtchn):
+        p1, p2 = make_pair(evtchn)
+        hits = {"a": 0, "b": 0}
+        evtchn.set_handler(p1, lambda: hits.__setitem__("a", hits["a"] + 1))
+        evtchn.set_handler(p2, lambda: hits.__setitem__("b", hits["b"] + 1))
+        evtchn.notify(p1)
+        evtchn.notify(p2)
+        sim.run()
+        assert hits == {"a": 1, "b": 1}
+
+    def test_notify_without_handler_is_noop(self, sim, evtchn):
+        p1, _p2 = make_pair(evtchn)
+        evtchn.notify(p1)
+        sim.run()  # no exception
+
+
+class TestTeardown:
+    def test_notify_closed_port_raises(self, sim, evtchn):
+        p1, _ = make_pair(evtchn)
+        evtchn.close(p1)
+        with pytest.raises(EventChannelError):
+            evtchn.notify(p1)
+
+    def test_notify_to_closed_peer_is_lost(self, sim, evtchn):
+        p1, p2 = make_pair(evtchn)
+        hits = []
+        evtchn.set_handler(p2, lambda: hits.append(1))
+        evtchn.close(p2)
+        evtchn.notify(p1)  # silently dropped, like real Xen
+        sim.run()
+        assert hits == []
+
+    def test_close_unlinks_peer(self, evtchn):
+        p1, p2 = make_pair(evtchn)
+        evtchn.close(p1)
+        assert p2.peer is None
+
+    def test_close_all_for_domain(self, evtchn):
+        make_pair(evtchn)
+        make_pair(evtchn)
+        assert evtchn.close_all_for(1) == 2
+
+    def test_delivery_to_port_closed_in_flight(self, sim, evtchn):
+        p1, p2 = make_pair(evtchn)
+        hits = []
+        evtchn.set_handler(p2, lambda: hits.append(1))
+        evtchn.notify(p1)
+        evtchn.close(p2)  # close while upcall is in flight
+        sim.run()
+        assert hits == []
+
+    def test_bind_to_closed_port_rejected(self, evtchn):
+        p1 = evtchn.alloc_unbound(1, 2)
+        evtchn.close(p1)
+        with pytest.raises(EventChannelError):
+            evtchn.bind_interdomain(2, 1, p1.port)

@@ -1,0 +1,69 @@
+"""Hypervisor-layer edge cases."""
+
+import pytest
+
+from repro.calibration import DEFAULT_COSTS
+from repro.net.addr import IPv4Addr
+from repro.xen.hypervisor import Hypervisor
+from repro.xen.machine import XenMachine
+from tests.conftest import run_gen
+
+
+class TestHypervisor:
+    def test_domid_allocation_monotonic(self, sim):
+        hv = Hypervisor(sim, DEFAULT_COSTS)
+        ids = [hv.alloc_domid() for _ in range(5)]
+        assert ids == sorted(set(ids))
+
+    def test_double_registration_rejected(self, sim):
+        machine = XenMachine(sim, DEFAULT_COSTS, "m0")
+        guest = machine.create_guest("vm1")
+        with pytest.raises(ValueError):
+            machine.hypervisor.register_domain(guest)
+
+    def test_exec_in_dead_domain_is_noop(self, sim):
+        machine = XenMachine(sim, DEFAULT_COSTS, "m0")
+        guest = machine.create_guest("vm1")
+        run_gen(sim, guest.shutdown())
+        ran = []
+        machine.hypervisor.exec_in_domain(guest.domid, 1e-6, lambda: ran.append(1))
+        sim.run(until=sim.now + 0.01)
+        assert ran == []
+
+    def test_exec_in_domain_charges_target(self, sim):
+        machine = XenMachine(sim, DEFAULT_COSTS, "m0")
+        guest = machine.create_guest("vm1")
+        busy_before = machine.cpus.total_busy_time
+        ran = []
+        machine.hypervisor.exec_in_domain(guest.domid, 5e-6, lambda: ran.append(sim.now))
+        sim.run(until=sim.now + 0.01)
+        assert ran and ran[0] >= 5e-6
+        assert machine.cpus.total_busy_time - busy_before >= 5e-6
+
+    def test_unregister_closes_event_channels(self, sim):
+        machine = XenMachine(sim, DEFAULT_COSTS, "m0")
+        g1 = machine.create_guest("vm1", ip=IPv4Addr("10.0.0.1"))
+        g2 = machine.create_guest("vm2", ip=IPv4Addr("10.0.0.2"))
+        evtchn = machine.hypervisor.evtchn
+        port = evtchn.alloc_unbound(g1.domid, g2.domid)
+        peer = evtchn.bind_interdomain(g2.domid, g1.domid, port.port)
+        machine.hypervisor.unregister_domain(g1)
+        assert port.closed
+        assert peer.peer is None
+
+
+class TestMeshBuilder:
+    def test_too_few_guests_rejected(self):
+        from repro import scenarios
+
+        with pytest.raises(ValueError):
+            scenarios.xenloop_mesh(1)
+
+    def test_unique_ips_and_macs(self):
+        from repro import scenarios
+
+        scn = scenarios.xenloop_mesh(5)
+        guests = scn.machines[0].guests
+        assert len({g.ip for g in guests}) == 5
+        assert len({g.mac for g in guests}) == 5
+        assert len(scn.modules) == 5

@@ -1,0 +1,118 @@
+"""XenMachine / Domain lifecycle and wiring."""
+
+import pytest
+
+from repro.calibration import DEFAULT_COSTS
+from repro.net.addr import IPv4Addr, MacAddr
+from repro.sim.engine import Simulator
+from repro.xen.machine import XenMachine
+from tests.conftest import run_gen
+
+
+@pytest.fixture
+def machine(sim):
+    return XenMachine(sim, DEFAULT_COSTS, "m0", n_cores=2)
+
+
+class TestCreation:
+    def test_dom0_is_domid_zero(self, machine):
+        assert machine.dom0.domid == 0
+        assert machine.dom0.is_dom0
+
+    def test_guest_gets_next_domid(self, machine):
+        g1 = machine.create_guest("vm1")
+        g2 = machine.create_guest("vm2")
+        assert (g1.domid, g2.domid) == (1, 2)
+
+    def test_guest_registered_in_xenstore(self, machine):
+        g = machine.create_guest("vm1")
+        assert machine.xenstore.read(0, f"/local/domain/{g.domid}/name") == "vm1"
+
+    def test_networked_guest_has_vif(self, machine):
+        g = machine.create_guest("vm1", ip=IPv4Addr("10.0.0.1"))
+        assert g.netfront is not None
+        assert g.stack.primary_device() is g.netfront.vif
+        assert g.mac is not None
+
+    def test_vif_mac_recorded_in_xenstore(self, machine):
+        g = machine.create_guest("vm1", ip=IPv4Addr("10.0.0.1"))
+        mac = machine.xenstore.read(0, f"/local/domain/{g.domid}/device/vif/0/mac")
+        assert mac == str(g.mac)
+
+    def test_explicit_mac(self, machine):
+        mac = MacAddr("00:16:3e:12:34:56")
+        g = machine.create_guest("vm1", ip=IPv4Addr("10.0.0.1"), mac=mac)
+        assert g.mac == mac
+
+    def test_guest_vcpu_limit_applied(self, machine):
+        g = machine.create_guest("vm1", ip=IPv4Addr("10.0.0.1"))
+        assert machine.cpus._vcpu_limit[g.sched_key] == 1
+
+    def test_bridge_has_vif_port(self, machine):
+        n_before = len(machine.bridge.ports)
+        machine.create_guest("vm1", ip=IPv4Addr("10.0.0.1"))
+        assert len(machine.bridge.ports) == n_before + 1
+
+    def test_guests_listing(self, machine):
+        machine.create_guest("vm1")
+        assert [g.name for g in machine.guests] == ["vm1"]
+
+
+class TestXenStoreAccess:
+    def test_xs_write_read_roundtrip(self, sim, machine):
+        g = machine.create_guest("vm1")
+
+        def gen():
+            yield from g.xs_write(f"{g.xs_prefix}/xenloop", "mac")
+            value = yield from g.xs_read(f"{g.xs_prefix}/xenloop")
+            return value
+
+        assert run_gen(sim, gen()) == "mac"
+
+    def test_xs_ops_charge_cpu(self, sim, machine):
+        g = machine.create_guest("vm1")
+
+        def gen():
+            yield from g.xs_write(f"{g.xs_prefix}/x", "v")
+
+        run_gen(sim, gen())
+        assert sim.now >= DEFAULT_COSTS.xenstore_op
+
+
+class TestShutdown:
+    def test_shutdown_removes_domain(self, sim, machine):
+        g = machine.create_guest("vm1", ip=IPv4Addr("10.0.0.1"))
+        run_gen(sim, g.shutdown())
+        assert g.domid not in machine.domains
+        assert not machine.xenstore.exists(0, f"/local/domain/{g.domid}")
+
+    def test_shutdown_runs_callbacks(self, sim, machine):
+        g = machine.create_guest("vm1")
+        ran = []
+
+        def cb():
+            ran.append(True)
+            yield sim.timeout(0)
+
+        g.shutdown_callbacks.append(cb)
+        run_gen(sim, g.shutdown())
+        assert ran == [True]
+
+    def test_shutdown_closes_event_channels(self, sim, machine):
+        g = machine.create_guest("vm1", ip=IPv4Addr("10.0.0.1"))
+        run_gen(sim, g.shutdown())
+        live = [
+            p for (d, _n), p in machine.hypervisor.evtchn._ports.items() if d == g.domid
+        ]
+        assert live == []
+
+    def test_double_shutdown_is_noop(self, sim, machine):
+        g = machine.create_guest("vm1")
+        run_gen(sim, g.shutdown())
+        run_gen(sim, g.shutdown())  # should not raise
+
+    def test_shutdown_detaches_bridge_port(self, sim, machine):
+        g = machine.create_guest("vm1", ip=IPv4Addr("10.0.0.1"))
+        n = len(machine.bridge.ports)
+        run_gen(sim, g.shutdown())
+        assert len(machine.bridge.ports) == n - 1

@@ -1,0 +1,62 @@
+"""Page and SharedRegion invariants."""
+
+import numpy as np
+import pytest
+
+from repro.xen.page import PAGE_SIZE, Page, SharedRegion
+
+
+class TestPage:
+    def test_default_buffer(self):
+        p = Page(owner=1)
+        assert p.buf.shape == (PAGE_SIZE,)
+        assert p.buf.dtype == np.uint8
+        assert not p.buf.any()
+
+    def test_unique_frames(self):
+        frames = {Page(owner=1).frame for _ in range(50)}
+        assert len(frames) == 50
+
+    def test_zero(self):
+        p = Page(owner=1)
+        p.buf[:] = 0xFF
+        p.zero()
+        assert not p.buf.any()
+
+    def test_bad_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            Page(owner=1, buf=np.zeros(10, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            Page(owner=1, buf=np.zeros(PAGE_SIZE, dtype=np.uint16))
+
+
+class TestSharedRegion:
+    def test_pages_view_backing_array(self):
+        region = SharedRegion(1, 4)
+        region.array[PAGE_SIZE + 5] = 42
+        assert region.pages[1].buf[5] == 42
+        region.pages[3].buf[0] = 7
+        assert region.array[3 * PAGE_SIZE] == 7
+
+    def test_sizes(self):
+        region = SharedRegion(1, 3)
+        assert region.n_pages == 3
+        assert region.size == 3 * PAGE_SIZE
+
+    def test_ownership(self):
+        region = SharedRegion(7, 2)
+        assert all(p.owner == 7 for p in region.pages)
+
+    def test_zero_pages_rejected(self):
+        with pytest.raises(ValueError):
+            SharedRegion(1, 0)
+
+    def test_region_backref(self):
+        region = SharedRegion(1, 2)
+        assert all(p.region is region for p in region.pages)
+
+    def test_zero(self):
+        region = SharedRegion(1, 2)
+        region.array[:] = 1
+        region.zero()
+        assert not region.array.any()

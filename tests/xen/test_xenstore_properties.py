@@ -1,0 +1,70 @@
+"""Property-based tests for XenStore tree semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xen.xenstore import XenStore, XenStoreError
+
+_segment = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-_", min_size=1, max_size=8
+)
+_path = st.lists(_segment, min_size=1, max_size=4).map(lambda parts: "/" + "/".join(parts))
+_value = st.text(max_size=32)
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(entries=st.dictionaries(_path, _value, max_size=20))
+    def test_write_read_consistency(self, entries):
+        store = XenStore()
+        for path, value in entries.items():
+            store.write(0, path, value)
+        # Later writes may overwrite prefixes' values but never delete
+        # sibling entries; every written leaf reads back.
+        for path, value in entries.items():
+            assert store.read(0, path) == value
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        entries=st.dictionaries(_path, _value, min_size=1, max_size=15),
+        data=st.data(),
+    )
+    def test_rm_removes_exactly_the_subtree(self, entries, data):
+        store = XenStore()
+        for path, value in entries.items():
+            store.write(0, path, value)
+        victim = data.draw(st.sampled_from(sorted(entries)))
+        store.rm(0, victim)
+        for path, value in entries.items():
+            in_subtree = path == victim or path.startswith(victim + "/")
+            if in_subtree:
+                assert not store.exists(0, path)
+            else:
+                assert store.read(0, path) == value
+
+    @settings(max_examples=30, deadline=None)
+    @given(entries=st.dictionaries(_path, _value, min_size=1, max_size=10))
+    def test_ls_lists_exactly_the_children(self, entries):
+        store = XenStore()
+        for path, value in entries.items():
+            store.write(0, path, value)
+        roots = {p.split("/")[1] for p in entries}
+        assert set(store.ls(0, "/")) == roots
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        domid=st.integers(min_value=1, max_value=100),
+        suffix=_segment,
+        value=_value,
+    )
+    def test_guest_confined_to_own_subtree(self, domid, suffix, value):
+        store = XenStore()
+        own = f"/local/domain/{domid}/{suffix}"
+        store.write(domid, own, value)
+        assert store.read(domid, own) == value
+        other = f"/local/domain/{domid + 1}/{suffix}"
+        try:
+            store.write(domid, other, value)
+            assert False, "permission check failed to fire"
+        except XenStoreError:
+            pass

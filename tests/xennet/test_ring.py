@@ -1,0 +1,68 @@
+"""SlottedRing slot accounting and backpressure."""
+
+import pytest
+
+from repro.xennet.ring import RingFullError, SlottedRing
+
+
+class TestSlots:
+    def test_capacity_enforced(self, sim):
+        ring = SlottedRing(sim, 2)
+        ring.push_request("a")
+        ring.push_request("b")
+        with pytest.raises(RingFullError):
+            ring.push_request("c")
+
+    def test_slot_held_until_response_consumed(self, sim):
+        ring = SlottedRing(sim, 1)
+        ring.push_request("a")
+        assert ring.pop_request() == "a"
+        assert ring.free_slots == 0  # still in service
+        ring.push_response("done")
+        assert ring.free_slots == 0  # response not yet consumed
+        assert ring.pop_response() == "done"
+        assert ring.free_slots == 1
+
+    def test_fifo_order(self, sim):
+        ring = SlottedRing(sim, 8)
+        for i in range(5):
+            ring.push_request(i)
+        assert [ring.pop_request() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_empty_pops_return_none(self, sim):
+        ring = SlottedRing(sim, 4)
+        assert ring.pop_request() is None
+        assert ring.pop_response() is None
+
+    def test_size_validation(self, sim):
+        with pytest.raises(ValueError):
+            SlottedRing(sim, 0)
+
+
+class TestWaitSpace:
+    def test_immediate_when_free(self, sim):
+        ring = SlottedRing(sim, 2)
+        ev = ring.wait_space()
+        assert ev.triggered
+
+    def test_fires_on_response_consumption(self, sim):
+        ring = SlottedRing(sim, 1)
+        ring.push_request("a")
+        ev = ring.wait_space()
+        assert not ev.triggered
+        ring.pop_request()
+        ring.push_response("r")
+        ring.pop_response()
+        sim.run()
+        assert ev.processed
+
+    def test_one_waiter_per_freed_slot(self, sim):
+        ring = SlottedRing(sim, 1)
+        ring.push_request("a")
+        ev1 = ring.wait_space()
+        ev2 = ring.wait_space()
+        ring.pop_request()
+        ring.push_response("r")
+        ring.pop_response()
+        sim.run()
+        assert ev1.processed and not ev2.triggered

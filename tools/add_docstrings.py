@@ -1,0 +1,321 @@
+"""One-shot maintenance script: insert docstrings on public items.
+
+Used once to bring every public class/function up to the documentation
+standard; kept in the repo because the DOCS table doubles as an API
+summary and the script is reusable after refactors (it is idempotent:
+items that already have a docstring are skipped).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+DOCS: dict[tuple[str, str], str] = {
+    # cli.py
+    ("src/repro/cli.py", "cmd_list"): "List scenarios and available commands.",
+    ("src/repro/cli.py", "cmd_ping"): "Flood-ping one scenario or all four.",
+    ("src/repro/cli.py", "cmd_snapshot"): "Measure every Tables 1-3 metric across the four scenarios.",
+    ("src/repro/cli.py", "cmd_fig11"): "Print the Fig. 11 migration timeline as ASCII.",
+    ("src/repro/cli.py", "cmd_trace"): "Print a traced ping's hop-by-hop timeline per scenario.",
+    ("src/repro/cli.py", "cmd_bypass"): "Compare the shipped design against the future-work socket bypass.",
+    ("src/repro/cli.py", "main"): "Parse arguments and dispatch to a subcommand; returns the exit code.",
+    # core/channel.py
+    ("src/repro/core/channel.py", "ChannelState"): "Lifecycle states of one channel endpoint.",
+    ("src/repro/core/channel.py", "Channel.fits"): "Whether a payload of ``nbytes`` can ever fit the outgoing FIFO.",
+    # core/discovery.py
+    ("src/repro/core/discovery.py", "DiscoveryModule"): "Dom0-resident periodic XenStore scanner and announcer.",
+    ("src/repro/core/discovery.py", "DiscoveryModule.stop"): "Stop scanning (no further announcements are sent).",
+    # core/fifo.py
+    ("src/repro/core/fifo.py", "FifoLayoutError"): "The shared region cannot hold (or does not contain) a valid FIFO.",
+    ("src/repro/core/fifo.py", "Fifo.front"): "Consumer index (free-running 32-bit counter in the descriptor page).",
+    ("src/repro/core/fifo.py", "Fifo.back"): "Producer index (free-running 32-bit counter in the descriptor page).",
+    ("src/repro/core/fifo.py", "Fifo.used_slots"): "Occupied slots: ``(back - front) mod 2^32`` -- valid because m > k.",
+    ("src/repro/core/fifo.py", "Fifo.free_slots"): "Slots available to the producer right now.",
+    ("src/repro/core/fifo.py", "Fifo.is_empty"): "True when the consumer has caught up with the producer.",
+    ("src/repro/core/fifo.py", "Fifo.active"): "The shared ACTIVE flag (cleared by channel teardown).",
+    ("src/repro/core/fifo.py", "Fifo.producer_waiting"): "Shared flag: the producer queued packets awaiting space.",
+    ("src/repro/core/fifo.py", "Fifo.set_producer_waiting"): "Ask the consumer for a space-available notification.",
+    ("src/repro/core/fifo.py", "Fifo.clear_producer_waiting"): "Acknowledge the space request (consumer side).",
+    ("src/repro/core/fifo.py", "Fifo.slots_needed"): "Slots one entry occupies: 1 metadata slot + ceil(len/8) payload slots.",
+    ("src/repro/core/fifo.py", "Fifo.load_grefs"): "Read the data-page grant references back from the descriptor page.",
+    # core/module.py
+    ("src/repro/core/module.py", "XenLoopModule"): "The self-contained guest 'kernel module' of the paper.",
+    ("src/repro/core/module.py", "XenLoopModule.channel_closed"): "Channel callback: drop a closed channel from the table.",
+    ("src/repro/core/module.py", "XenLoopModule.stats"): "Snapshot of per-module packet and channel counters.",
+    # core/protocol.py
+    ("src/repro/core/protocol.py", "Announce.to_bytes"): "Serialize to the XenLoop-type wire format.",
+    ("src/repro/core/protocol.py", "ConnectRequest"): "Larger-ID guest asking the smaller-ID peer to act as listener.",
+    ("src/repro/core/protocol.py", "ConnectRequest.to_bytes"): "Serialize to the XenLoop-type wire format.",
+    ("src/repro/core/protocol.py", "CreateChannel.to_bytes"): "Serialize to the XenLoop-type wire format.",
+    ("src/repro/core/protocol.py", "ChannelAck"): "Connector's confirmation that the channel is mapped and bound.",
+    ("src/repro/core/protocol.py", "ChannelAck.to_bytes"): "Serialize to the XenLoop-type wire format.",
+    # core/socket_bypass.py
+    ("src/repro/core/socket_bypass.py", "BypassError"): "A bypass stream operation failed (e.g. the channel died).",
+    ("src/repro/core/socket_bypass.py", "BypassConnection.recv_exactly"): "Receive exactly ``n`` bytes (generator); raises on early EOF.",
+    ("src/repro/core/socket_bypass.py", "BypassConnection.close"): "Half-close: send FIN; fully closed once both sides have.",
+    ("src/repro/core/socket_bypass.py", "BypassConnection.on_data"): "Frame arrival (drain-worker context): buffer and wake readers.",
+    ("src/repro/core/socket_bypass.py", "BypassConnection.on_fin"): "Peer FIN arrival: mark EOF and finish the close handshake.",
+    ("src/repro/core/socket_bypass.py", "SocketBypassModule.forget_stream"): "Remove a finished stream from the demux table.",
+    ("src/repro/core/socket_bypass.py", "SocketBypassModule.stats"): "Module stats extended with bypass connect/fallback counters.",
+    # mpi/comm.py
+    ("src/repro/mpi/comm.py", "MpiError"): "Malformed message framing on the MPI connection.",
+    ("src/repro/mpi/comm.py", "MpiConnection.close"): "Close the underlying TCP connection (generator).",
+    # net/addr.py
+    ("src/repro/net/addr.py", "MacAddr.is_broadcast"): "True for ff:ff:ff:ff:ff:ff.",
+    ("src/repro/net/addr.py", "MacAddr.is_multicast"): "True when the I/G bit of the first octet is set.",
+    ("src/repro/net/addr.py", "MacAddr.to_bytes"): "6-byte big-endian wire representation.",
+    ("src/repro/net/addr.py", "MacAddr.from_bytes"): "Parse 6 wire bytes into a MacAddr.",
+    ("src/repro/net/addr.py", "IPv4Addr.in_subnet"): "Whether this address falls inside ``network/prefix_len``.",
+    ("src/repro/net/addr.py", "IPv4Addr.to_bytes"): "4-byte big-endian wire representation.",
+    ("src/repro/net/addr.py", "IPv4Addr.from_bytes"): "Parse 4 wire bytes into an IPv4Addr.",
+    # net/arp.py
+    ("src/repro/net/arp.py", "NeighborCache.insert"): "Install a mapping and wake any resolvers blocked on it.",
+    ("src/repro/net/arp.py", "NeighborCache.flush"): "Drop every cached mapping.",
+    # net/bridge.py
+    ("src/repro/net/bridge.py", "NicBridgePort.deliver"): "Send the frame out of the machine via the physical NIC (generator).",
+    ("src/repro/net/bridge.py", "Bridge.add_port"): "Attach a port (vif netback or NIC uplink) to the bridge.",
+    ("src/repro/net/bridge.py", "Bridge.remove_port"): "Detach a port and purge its learned MACs.",
+    ("src/repro/net/bridge.py", "Bridge.forget"): "Purge one learned MAC (e.g. after a guest migrates away).",
+    # net/capture.py
+    ("src/repro/net/capture.py", "CapturedFrame"): "One recorded frame: timestamp, direction, and the packet itself.",
+    ("src/repro/net/capture.py", "CapturedFrame.describe"): "Render the frame as a one-line tcpdump-style summary.",
+    ("src/repro/net/capture.py", "PacketCapture.attach"): "Start capturing on ``dev`` (wraps its tx/rx entry points).",
+    ("src/repro/net/capture.py", "PacketCapture.detach"): "Stop capturing and restore the device's original methods.",
+    ("src/repro/net/capture.py", "PacketCapture.filter"): "Recorded frames filtered by direction and/or IP protocol.",
+    ("src/repro/net/capture.py", "PacketCapture.dump"): "All recorded frames as tcpdump-style text.",
+    ("src/repro/net/capture.py", "PacketCapture.clear"): "Discard everything recorded so far.",
+    # net/devices.py
+    ("src/repro/net/devices.py", "NetDevice.tx_cost"): "CPU charged to the sender per transmitted packet.",
+    ("src/repro/net/devices.py", "NetDevice.rx_cost"): "CPU charged to the receiver's softirq per received packet.",
+    ("src/repro/net/devices.py", "NetDevice.queue_xmit"): "Hand a frame to the medium; the event fires on acceptance.",
+    ("src/repro/net/devices.py", "NetDevice.attach"): "Bind the device to its owning stack.",
+    ("src/repro/net/devices.py", "NetDevice.count_tx"): "Update transmit counters for one outgoing frame.",
+    ("src/repro/net/devices.py", "LoopbackDevice.tx_cost"): "Loopback transmit cost (softirq reinjection).",
+    ("src/repro/net/devices.py", "LoopbackDevice.rx_cost"): "Loopback receive cost (softirq reinjection).",
+    ("src/repro/net/devices.py", "LoopbackDevice.queue_xmit"): "Reinject the frame straight into the owning stack's backlog.",
+    # net/icmp.py
+    ("src/repro/net/icmp.py", "IcmpLayer"): "ICMP echo handling: in-'kernel' responder plus waiter registry.",
+    ("src/repro/net/icmp.py", "IcmpLayer.alloc_ident"): "Allocate the next echo identifier (16-bit, wraps, skips 0).",
+    ("src/repro/net/icmp.py", "IcmpLayer.input"): "Process one received ICMP message (generator, softirq context).",
+    # net/ipv4.py
+    ("src/repro/net/ipv4.py", "Reassembler.pending"): "Number of incomplete reassembly buffers.",
+    ("src/repro/net/ipv4.py", "Ipv4Layer.register_protocol"): "Register an L4 input handler for an IP protocol number.",
+    # net/netfilter.py
+    ("src/repro/net/netfilter.py", "HookPoint"): "Where in the stack a hook chain runs.",
+    ("src/repro/net/netfilter.py", "Verdict"): "A hook's decision about the packet.",
+    ("src/repro/net/netfilter.py", "NetfilterRegistry.register"): "Add a generator hook at ``point`` (lower priority runs first).",
+    ("src/repro/net/netfilter.py", "NetfilterRegistry.unregister"): "Remove a previously registered hook (matched by equality).",
+    ("src/repro/net/netfilter.py", "NetfilterRegistry.count"): "Number of hooks registered at ``point``.",
+    # net/nic.py
+    ("src/repro/net/nic.py", "PhysNIC.connect"): "Cable the NIC into a switch port.",
+    ("src/repro/net/nic.py", "PhysNIC.tx_cost"): "Driver transmit cost: descriptor work plus DMA time.",
+    ("src/repro/net/nic.py", "PhysNIC.rx_cost"): "Driver receive cost: descriptor work plus DMA time.",
+    ("src/repro/net/nic.py", "PhysNIC.queue_xmit"): "Queue the frame on the transmit ring (bounded; backpressure).",
+    ("src/repro/net/nic.py", "EthernetSwitch.attach"): "Create a switch port for ``nic``.",
+    ("src/repro/net/nic.py", "EthernetSwitch.ingress"): "A frame arrives from a NIC: learn the source, forward or flood.",
+    # net/packet.py
+    ("src/repro/net/packet.py", "EthHeader"): "Ethernet II header (14 bytes on the wire).",
+    ("src/repro/net/packet.py", "EthHeader.to_bytes"): "Serialize to the 14-byte wire format.",
+    ("src/repro/net/packet.py", "EthHeader.from_bytes"): "Parse the 14-byte wire format.",
+    ("src/repro/net/packet.py", "ArpHeader.to_bytes"): "Serialize to the 28-byte wire format.",
+    ("src/repro/net/packet.py", "ArpHeader.from_bytes"): "Parse the 28-byte wire format.",
+    ("src/repro/net/packet.py", "IPv4Header"): "IPv4 header (20 bytes; version/TOS/checksum carried as padding).",
+    ("src/repro/net/packet.py", "IPv4Header.to_bytes"): "Serialize to the 20-byte wire format (offset in 8-byte units).",
+    ("src/repro/net/packet.py", "IPv4Header.from_bytes"): "Parse the 20-byte wire format.",
+    ("src/repro/net/packet.py", "UdpHeader"): "UDP header (8 bytes; checksum carried as padding).",
+    ("src/repro/net/packet.py", "UdpHeader.to_bytes"): "Serialize to the 8-byte wire format.",
+    ("src/repro/net/packet.py", "UdpHeader.from_bytes"): "Parse the 8-byte wire format.",
+    ("src/repro/net/packet.py", "TcpHeader"): "TCP header (20 bytes, no options; window is scaled, see tcp.py).",
+    ("src/repro/net/packet.py", "TcpHeader.to_bytes"): "Serialize to the 20-byte wire format (seq/ack mod 2^32).",
+    ("src/repro/net/packet.py", "TcpHeader.from_bytes"): "Parse the 20-byte wire format.",
+    ("src/repro/net/packet.py", "IcmpHeader"): "ICMP echo header (8 bytes).",
+    ("src/repro/net/packet.py", "IcmpHeader.to_bytes"): "Serialize to the 8-byte wire format.",
+    ("src/repro/net/packet.py", "IcmpHeader.from_bytes"): "Parse the 8-byte wire format.",
+    ("src/repro/net/packet.py", "Packet.is_fragment"): "True for IP fragments (offset > 0 or more-fragments set).",
+    # net/sockets.py
+    ("src/repro/net/sockets.py", "SocketError"): "Misuse of the socket facade (wrong type, closed, unbound...).",
+    ("src/repro/net/sockets.py", "Socket.bind"): "Bind to (ip, port); port 0 picks an ephemeral port for datagrams.",
+    ("src/repro/net/sockets.py", "Socket.listen"): "Start accepting connections on the bound port (stream only).",
+    ("src/repro/net/sockets.py", "Socket.sendall"): "Blocking stream send of the whole buffer (generator).",
+    ("src/repro/net/sockets.py", "Socket.recv"): "Blocking stream receive of up to ``max_bytes`` (generator).",
+    ("src/repro/net/sockets.py", "Socket.recv_exactly"): "Blocking stream receive of exactly ``n`` bytes (generator).",
+    ("src/repro/net/sockets.py", "Socket.sendto"): "Send one datagram (generator); binds ephemerally on first use.",
+    ("src/repro/net/sockets.py", "Socket.recvfrom"): "Receive one datagram (generator); returns (data, (ip, port)).",
+    ("src/repro/net/sockets.py", "Socket.getsockname"): "The local (ip, port) pair, port 0 if unbound.",
+    ("src/repro/net/sockets.py", "Socket.connected"): "True while an underlying stream connection is ESTABLISHED.",
+    # net/stack.py
+    ("src/repro/net/stack.py", "NetworkStack"): "Per-node protocol stack: devices, hooks, ARP, IP, ICMP, UDP, TCP.",
+    ("src/repro/net/stack.py", "NetworkStack.add_device"): "Attach a device; the first (or primary=True) becomes the route target.",
+    ("src/repro/net/stack.py", "NetworkStack.primary_device"): "The device non-loopback routes resolve to.",
+    ("src/repro/net/stack.py", "NetworkStack.backlog_depth"): "Frames queued for the softirq right now.",
+    ("src/repro/net/stack.py", "NetworkStack.register_ethertype"): "dev_add_pack analogue: claim a non-IP ethertype.",
+    ("src/repro/net/stack.py", "NetworkStack.unregister_ethertype"): "Release a claimed ethertype.",
+    ("src/repro/net/stack.py", "NetworkStack.udp_socket"): "Create a UDP socket (port 0 = ephemeral).",
+    ("src/repro/net/stack.py", "NetworkStack.tcp_listen"): "Create a TCP listener on ``port``.",
+    # net/tcp.py
+    ("src/repro/net/tcp.py", "TcpConnection.on_segment"): "Process one arriving segment (generator, softirq context).",
+    ("src/repro/net/tcp.py", "TcpListener.close"): "Stop listening (queued-but-unaccepted connections are kept).",
+    ("src/repro/net/tcp.py", "TcpLayer"): "Per-stack TCP: listeners, connection demux, ephemeral ports.",
+    ("src/repro/net/tcp.py", "TcpLayer.listen"): "Open a passive socket; accepted connections inherit the buffers.",
+    # net/udp.py
+    ("src/repro/net/udp.py", "UdpSocket.close"): "Unbind the port; pending receivers never complete.",
+    ("src/repro/net/udp.py", "UdpLayer"): "Per-stack UDP: port table, demux, ephemeral allocation.",
+    ("src/repro/net/udp.py", "UdpLayer.unbind"): "Release a bound port.",
+    # scenarios.py
+    ("src/repro/scenarios.py", "Scenario"): "A built evaluation topology plus its measurement endpoints.",
+    ("src/repro/scenarios.py", "Scenario.xenloop_module"): "The XenLoop module loaded in ``node``, if any.",
+    ("src/repro/scenarios.py", "build"): "Build a scenario by name (see SCENARIO_BUILDERS).",
+    # sim/engine.py
+    ("src/repro/sim/engine.py", "Event.triggered"): "True once the event has been scheduled to fire.",
+    ("src/repro/sim/engine.py", "Event.processed"): "True once callbacks have run.",
+    ("src/repro/sim/engine.py", "Event.value"): "The event's value (or stored exception); raises while pending.",
+    ("src/repro/sim/engine.py", "Process.is_alive"): "True while the generator has not finished.",
+    ("src/repro/sim/engine.py", "Simulator.event"): "Create a pending event.",
+    ("src/repro/sim/engine.py", "Simulator.timeout"): "Create an event firing ``delay`` seconds from now.",
+    ("src/repro/sim/engine.py", "Simulator.process"): "Run a generator as a concurrent process.",
+    ("src/repro/sim/engine.py", "Simulator.any_of"): "Composite event firing when any constituent fires.",
+    ("src/repro/sim/engine.py", "Simulator.all_of"): "Composite event firing when every constituent has fired.",
+    # sim/resources.py
+    ("src/repro/sim/resources.py", "Resource.acquire"): "Request a unit; the returned event fires when granted.",
+    ("src/repro/sim/resources.py", "Resource.release"): "Return a unit, admitting the oldest waiter if any.",
+    ("src/repro/sim/resources.py", "Resource.queued"): "Number of acquirers currently waiting.",
+    ("src/repro/sim/resources.py", "Store.put"): "Append an item; blocks (event pending) while a bounded store is full.",
+    ("src/repro/sim/resources.py", "Store.get"): "Take the oldest item; the event fires when one is available.",
+    ("src/repro/sim/resources.py", "CPUCores.set_vcpu_limit"): "Cap a domain's concurrent segments (its vCPU count).",
+    ("src/repro/sim/resources.py", "CPUCores.queued"): "Work segments waiting for a core or a vCPU slot.",
+    # sim/stats.py
+    ("src/repro/sim/stats.py", "Counter.add"): "Increment by ``n`` (must be non-negative).",
+    ("src/repro/sim/stats.py", "TimeSeries.record"): "Append one (time, value) sample; times must not go backwards.",
+    ("src/repro/sim/stats.py", "LatencyProbe.record"): "Record one latency sample in seconds.",
+    ("src/repro/sim/stats.py", "LatencyProbe.count"): "Number of samples recorded.",
+    ("src/repro/sim/stats.py", "LatencyProbe.mean"): "Mean latency in seconds.",
+    ("src/repro/sim/stats.py", "LatencyProbe.mean_us"): "Mean latency in microseconds.",
+    ("src/repro/sim/stats.py", "LatencyProbe.percentile"): "Linear-interpolated percentile, ``p`` in [0, 100].",
+    ("src/repro/sim/stats.py", "ThroughputProbe.open"): "Start the measurement interval at time ``t``.",
+    ("src/repro/sim/stats.py", "ThroughputProbe.record"): "Accumulate ``n`` units observed at time ``t``.",
+    ("src/repro/sim/stats.py", "ThroughputProbe.elapsed"): "Observed interval length in seconds.",
+    # workloads
+    ("src/repro/workloads/lmbench.py", "BwResult"): "bw_tcp outcome: bytes moved and Mbit/s.",
+    ("src/repro/workloads/lmbench.py", "LatResult"): "lat_tcp outcome: round trips and mean RTT in microseconds.",
+    ("src/repro/workloads/lmbench.py", "bw_tcp"): "Move ``total_bytes`` over TCP in 64 KB writes; returns Mbit/s.",
+    ("src/repro/workloads/lmbench.py", "lat_tcp"): "1-byte TCP ping-pong; returns mean RTT in microseconds.",
+    ("src/repro/workloads/migration_rr.py", "MigrationRrResult"): "Fig. 11 outcome: rate time series plus migration marks.",
+    ("src/repro/workloads/migration_rr.py", "MigrationRrResult.rates"): "The (time, transactions/sec) samples as a list.",
+    ("src/repro/workloads/netperf.py", "RrResult"): "Request-response outcome: rate and latency stats.",
+    ("src/repro/workloads/netperf.py", "StreamResult"): "Stream outcome: receiver-side bytes, Mbit/s, and drops.",
+    ("src/repro/workloads/netperf.py", "tcp_rr"): "netperf TCP_RR: one outstanding transaction at a time.",
+    ("src/repro/workloads/netperf.py", "udp_rr"): "netperf UDP_RR: one outstanding datagram transaction at a time.",
+    ("src/repro/workloads/netperf.py", "tcp_stream"): "netperf TCP_STREAM: blast a byte stream; receiver-side Mbit/s.",
+    ("src/repro/workloads/netperf.py", "udp_stream"): "netperf UDP_STREAM: blast datagrams; receiver-side Mbit/s + drops.",
+    ("src/repro/workloads/netpipe.py", "NetpipePoint"): "One sweep point: size, one-way latency, throughput.",
+    ("src/repro/workloads/netpipe.py", "NetpipeResult"): "Full NetPIPE sweep (points in size order).",
+    ("src/repro/workloads/netpipe.py", "NetpipeResult.series"): "The sweep as (sizes, Mbit/s list, latency-us list).",
+    ("src/repro/workloads/netpipe.py", "run"): "Run the NetPIPE ping-pong sweep over the mini-MPI library.",
+    ("src/repro/workloads/osu.py", "OsuPoint"): "One sweep point: message size and metric value.",
+    ("src/repro/workloads/osu.py", "OsuResult"): "Full OSU sweep with its metric name.",
+    ("src/repro/workloads/osu.py", "OsuResult.series"): "The sweep as (sizes, values).",
+    ("src/repro/workloads/osu.py", "osu_bw"): "OSU uni-directional bandwidth (windowed back-to-back sends).",
+    ("src/repro/workloads/osu.py", "osu_bibw"): "OSU bi-directional bandwidth (both ranks stream simultaneously).",
+    ("src/repro/workloads/osu.py", "osu_latency"): "OSU latency: ping-pong, one-way microseconds per size.",
+    ("src/repro/workloads/pingpong.py", "PingResult"): "Flood-ping outcome: RTT stats and losses.",
+    # xen/domain.py
+    ("src/repro/xen/domain.py", "Domain"): "A Xen domain: a Node plus domid, XenStore access, lifecycle hooks.",
+    ("src/repro/xen/domain.py", "Domain.xs_prefix"): "This domain's XenStore subtree root.",
+    ("src/repro/xen/domain.py", "Domain.xs_write"): "Permission-checked XenStore write (generator; charges CPU).",
+    ("src/repro/xen/domain.py", "Domain.xs_read"): "Permission-checked XenStore read (generator; charges CPU).",
+    ("src/repro/xen/domain.py", "Domain.xs_rm"): "Permission-checked XenStore subtree removal (generator).",
+    ("src/repro/xen/domain.py", "Domain.xs_ls"): "Permission-checked XenStore directory listing (generator).",
+    ("src/repro/xen/domain.py", "Domain.grant_table"): "This domain's grant table on its current machine.",
+    # xen/event_channel.py
+    ("src/repro/xen/event_channel.py", "EventChannelSubsys.set_handler"): "Install the upcall handler run in the port owner's context.",
+    ("src/repro/xen/event_channel.py", "EventChannelSubsys.close_all_for"): "Close every port owned by ``domid`` (domain teardown).",
+    # xen/grant_table.py
+    ("src/repro/xen/grant_table.py", "GrantTable.map_grant"): "Map an access grant; only the named domain may (hypercall).",
+    ("src/repro/xen/grant_table.py", "GrantTable.unmap_grant"): "Release a mapping previously obtained with map_grant.",
+    ("src/repro/xen/grant_table.py", "GrantTable.lookup"): "The page behind ``gref``, or None.",
+    ("src/repro/xen/grant_table.py", "GrantTable.active_entries"): "Number of live grant entries.",
+    # xen/hypervisor.py
+    ("src/repro/xen/hypervisor.py", "Hypervisor"): "Per-machine grant tables, event channels, and domid space.",
+    ("src/repro/xen/hypervisor.py", "Hypervisor.alloc_domid"): "Allocate the next domain id (never reused).",
+    ("src/repro/xen/hypervisor.py", "Hypervisor.register_domain"): "Register a domain and create its grant table.",
+    ("src/repro/xen/hypervisor.py", "Hypervisor.unregister_domain"): "Drop a domain's grant table and close its event channels.",
+    # xen/machine.py
+    ("src/repro/xen/machine.py", "XenMachine.domains"): "domid -> Domain for every live domain (Dom0 included).",
+    ("src/repro/xen/machine.py", "XenMachine.guests"): "Live unprivileged domains, in creation order.",
+    # xen/page.py
+    ("src/repro/xen/page.py", "Page.zero"): "Scrub the page (the security step the transfer path pays for).",
+    ("src/repro/xen/page.py", "SharedRegion.n_pages"): "Number of pages in the region.",
+    ("src/repro/xen/page.py", "SharedRegion.size"): "Region size in bytes.",
+    ("src/repro/xen/page.py", "SharedRegion.zero"): "Scrub the whole region.",
+    # xen/xenstore.py
+    ("src/repro/xen/xenstore.py", "XenStore"): "Hierarchical key-value store with per-domain permissions and watches.",
+    ("src/repro/xen/xenstore.py", "XenStore.write"): "Write a value (permission-checked; fires matching watches).",
+    ("src/repro/xen/xenstore.py", "XenStore.read"): "Read a value (permission-checked; raises if absent).",
+    ("src/repro/xen/xenstore.py", "XenStore.exists"): "Whether a node exists (permission-checked).",
+    ("src/repro/xen/xenstore.py", "XenStore.ls"): "Sorted child names of a directory node (permission-checked).",
+    ("src/repro/xen/xenstore.py", "XenStore.watch"): "Register a callback fired on writes/removals under a prefix.",
+    ("src/repro/xen/xenstore.py", "XenStore.unwatch"): "Remove a previously registered watch callback.",
+    # xennet/netback.py
+    ("src/repro/xennet/netback.py", "VifBridgePort"): "The bridge port representing one guest's vif.",
+    ("src/repro/xennet/netback.py", "VifBridgePort.deliver"): "Bridge -> guest: hand the frame to netback's receive path.",
+    ("src/repro/xennet/netback.py", "Netback"): "Dom0 half of one vif: TX drain worker + RX injection + bridge port.",
+    ("src/repro/xennet/netback.py", "Netback.bridge"): "The Dom0 software bridge on the current machine.",
+    ("src/repro/xennet/netback.py", "Netback.on_interrupt"): "Guest kicked us: wake the TX drain worker.",
+    ("src/repro/xennet/netback.py", "Netback.detach"): "Tear the netback down (guest shutdown or migration-out).",
+    # xennet/netfront.py
+    ("src/repro/xennet/netfront.py", "pages_for"): "Number of 4 KiB pages a buffer of ``nbytes`` spans.",
+    ("src/repro/xennet/netfront.py", "VifDevice.tx_cost"): "Ring request build + per-page grant entries + notify hypercall.",
+    ("src/repro/xennet/netfront.py", "VifDevice.rx_cost"): "Netfront per-packet receive bookkeeping.",
+    ("src/repro/xennet/netfront.py", "VifDevice.queue_xmit"): "Hand the frame to netfront's transmit queue.",
+    ("src/repro/xennet/netfront.py", "Netfront"): "Guest half of the split driver: vif device, rings, suspend/resume.",
+    ("src/repro/xennet/netfront.py", "Netfront.suspend"): "Freeze transmission; queued packets move to the limbo list.",
+    # xennet/ring.py
+    ("src/repro/xennet/ring.py", "RingFullError"): "push_request on a ring with no free slots.",
+    ("src/repro/xennet/ring.py", "SlottedRing"): "Request/response ring; slots held until responses are consumed.",
+    ("src/repro/xennet/ring.py", "SlottedRing.free_slots"): "Slots available to the producer right now.",
+    ("src/repro/xennet/ring.py", "SlottedRing.push_request"): "Producer: occupy a slot with a request (raises when full).",
+    ("src/repro/xennet/ring.py", "SlottedRing.pop_response"): "Producer: consume a response, freeing its slot.",
+    ("src/repro/xennet/ring.py", "SlottedRing.pop_request"): "Consumer: take the oldest request (None when empty).",
+    ("src/repro/xennet/ring.py", "SlottedRing.push_response"): "Consumer: complete a request (slot frees at pop_response).",
+    ("src/repro/xennet/ring.py", "SlottedRing.has_requests"): "Whether any requests await the consumer.",
+    ("src/repro/xennet/ring.py", "SlottedRing.has_responses"): "Whether any responses await the producer.",
+    ("src/repro/xennet/setup.py", "connect_vif"): "Wire (or re-wire) a guest's vif: rings, event channel, netback.",
+}
+
+
+def apply() -> int:
+    by_file: dict[str, dict[str, str]] = {}
+    for (path, name), doc in DOCS.items():
+        by_file.setdefault(path, {})[name] = doc
+
+    patched = 0
+    for path, names in by_file.items():
+        source = pathlib.Path(path).read_text()
+        lines = source.splitlines(keepends=True)
+        tree = ast.parse(source)
+        insertions: list[tuple[int, str]] = []  # (line index, text)
+
+        def visit(node, prefix=""):
+            for child in getattr(node, "body", []):
+                if isinstance(child, (ast.FunctionDef, ast.ClassDef)):
+                    qual = prefix + child.name
+                    if qual in names and not ast.get_docstring(child, clean=False):
+                        first = child.body[0]
+                        indent = " " * first.col_offset
+                        insertions.append(
+                            (first.lineno - 1, f'{indent}"""{names[qual]}"""\n')
+                        )
+                    if isinstance(child, ast.ClassDef):
+                        visit(child, prefix + child.name + ".")
+
+        visit(tree)
+        for lineno, text in sorted(insertions, reverse=True):
+            lines.insert(lineno, text)
+            patched += 1
+        pathlib.Path(path).write_text("".join(lines))
+    return patched
+
+
+if __name__ == "__main__":
+    print(f"inserted {apply()} docstrings")

@@ -1,0 +1,53 @@
+"""Calibration helper: print paper-vs-measured for Tables 1-3."""
+import sys
+import time
+
+from repro import scenarios
+from repro.calibration import DEFAULT_COSTS
+from repro.workloads import pingpong, netperf, lmbench, netpipe
+
+PAPER = {
+    # metric: (inter_machine, netfront_netback, xenloop, native_loopback)
+    "ping_rtt_us": (101, 140, 28, 6),
+    "tcp_rr": (9387, 10236, 28529, 31969),
+    "udp_rr": (9784, 12600, 32803, 39623),
+    "tcp_stream": (941, 2656, 4143, 4666),
+    "udp_stream": (710, 707, 4380, 4928),
+    "lmbench_bw": (848, 1488, 4920, 5336),
+    "lmbench_lat_us": (107, 98, 33, 25),
+    "netpipe_bw": (645, 697, 2048, 4836),
+    "netpipe_lat_us": (77.25, 60.98, 24.89, 23.81),
+}
+ORDER = ["inter_machine", "netfront_netback", "xenloop", "native_loopback"]
+
+def measure(name, costs):
+    scn = scenarios.build(name, costs)
+    scn.warmup()
+    out = {}
+    out["ping_rtt_us"] = pingpong.flood_ping(scn, count=100).rtt_us
+    out["tcp_rr"] = netperf.tcp_rr(scn, duration=0.1).trans_per_sec
+    out["udp_rr"] = netperf.udp_rr(scn, duration=0.1).trans_per_sec
+    out["tcp_stream"] = netperf.tcp_stream(scn, duration=0.03).mbps
+    out["udp_stream"] = netperf.udp_stream(scn, duration=0.03, msg_size=8192).mbps
+    out["lmbench_bw"] = lmbench.bw_tcp(scn, total_bytes=2 << 20).mbps
+    out["lmbench_lat_us"] = lmbench.lat_tcp(scn, round_trips=200).latency_us
+    np_res = netpipe.run(scn, sizes=[64, 4096])
+    out["netpipe_bw"] = np_res.points[1].mbps
+    out["netpipe_lat_us"] = np_res.points[0].latency_us
+    return out
+
+def main(costs=DEFAULT_COSTS):
+    results = {}
+    for name in ORDER:
+        t0 = time.time()
+        results[name] = measure(name, costs)
+        print(f"  [{name} done in {time.time()-t0:.1f}s]", file=sys.stderr)
+    print(f"{'metric':16s}" + "".join(f"{n[:13]:>26s}" for n in ORDER))
+    for metric, paper_vals in PAPER.items():
+        cells = []
+        for i, n in enumerate(ORDER):
+            cells.append(f"{results[n][metric]:10.1f} (p {paper_vals[i]:7.1f})")
+        print(f"{metric:16s}" + "".join(f"{c:>26s}" for c in cells))
+
+if __name__ == "__main__":
+    main()
