@@ -4,7 +4,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples clean
+.PHONY: install test bench bench-smoke examples clean
 
 install:
 	@$(PYTHON) -m pip install -e . 2>/dev/null || ( \
@@ -17,6 +17,13 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Quick perf pulse: engine events/sec (writes BENCH_engine.json at the
+# repo root) plus one short table bench, so the perf trajectory is
+# tracked without running the full bench suite.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine_throughput.py
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_table3_latency.py --benchmark-only -s
 
 examples:
 	@for ex in examples/*.py; do echo "== $$ex =="; $(PYTHON) $$ex || exit 1; done

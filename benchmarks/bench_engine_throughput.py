@@ -1,0 +1,89 @@
+"""Engine-throughput regression bench (events/sec + wall-clock).
+
+Not a paper figure: this tracks the *simulator's* own speed on the
+profiled workload from the fast-path PR -- ``udp_stream`` over the
+``xenloop`` scenario, 4 KB messages, 0.5 s simulated -- so the perf
+trajectory is visible from PR to PR.  Results go to ``BENCH_engine.json``
+at the repo root (events processed, wall-clock, events/sec, plus the
+simulated result so determinism drift is also visible).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+
+or as part of the bench suite (``make bench-smoke`` / ``pytest
+benchmarks/ --benchmark-only``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+from repro import report, scenarios, trace
+from repro.workloads import netperf
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_engine.json"
+
+
+def run(
+    scenario: str = "xenloop",
+    msg_size: int = 4096,
+    duration: float = 0.5,
+    output: pathlib.Path = DEFAULT_OUTPUT,
+) -> dict:
+    """Run the fixed workload once, print and persist the engine stats."""
+    t0 = time.perf_counter()
+    scn = scenarios.build(scenario)
+    result = netperf.udp_stream(scn, msg_size=msg_size, duration=duration)
+    wall = time.perf_counter() - t0
+
+    stats = trace.engine_stats(scn.sim, wall_s=wall)
+    payload = {
+        "workload": {
+            "scenario": scenario,
+            "msg_size": msg_size,
+            "duration": duration,
+        },
+        "events": stats["events"],
+        "sim_time": stats["sim_time"],
+        "wall_s": round(stats["wall_s"], 4),
+        "events_per_sec": round(stats["events_per_sec"], 1),
+        "result": {
+            "bytes_received": result.bytes_received,
+            "mbps": result.mbps,
+            "messages_sent": result.messages_sent,
+            "drops": result.drops,
+        },
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(report.format_engine_stats(stats))
+    print(f"simulated: {result.mbps:,.1f} Mbit/s, {result.drops} drops")
+    print(f"wrote {output}")
+    return payload
+
+
+def test_engine_throughput(run_once, benchmark):
+    payload = run_once(run)
+    benchmark.extra_info["events"] = payload["events"]
+    benchmark.extra_info["events_per_sec"] = payload["events_per_sec"]
+    benchmark.extra_info["wall_s"] = payload["wall_s"]
+    assert payload["events"] > 0
+    assert payload["result"]["bytes_received"] > 0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", default="xenloop")
+    parser.add_argument("--msg-size", type=int, default=4096)
+    parser.add_argument("--duration", type=float, default=0.5)
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args()
+    run(args.scenario, args.msg_size, args.duration, args.output)
+
+
+if __name__ == "__main__":
+    main()

@@ -86,6 +86,13 @@ class Fifo:
         self.region = region
         self._desc = region.array[:PAGE_SIZE].view(np.uint32)
         self._data = region.array[PAGE_SIZE:]
+        # Raw memoryviews over the same shared bytes: slot copies become a
+        # single C-level slice assignment/read instead of per-call numpy
+        # array construction, and descriptor words are plain ints.  Both
+        # endpoint Fifo objects wrap the SAME region, so every index and
+        # flag access still goes through shared memory.
+        self._desc_mv = region.array[:PAGE_SIZE].data.cast("I")
+        self._data_mv = self._data.data
         if k is not None:
             if k < 1 or k > 31:
                 raise FifoLayoutError(f"k={k} out of range (need 1 <= k <= 31, m=32)")
@@ -105,6 +112,7 @@ class Fifo:
         self.k = k
         self.size = 1 << k
         self.mask = self.size - 1
+        self._ring_bytes = self.size * 8
         self.pushes = 0
         self.pops = 0
         self.push_failures = 0
@@ -113,12 +121,12 @@ class Fifo:
     @property
     def front(self) -> int:
         """Consumer index (free-running 32-bit counter in the descriptor page)."""
-        return int(self._desc[_FRONT_WORD])
+        return self._desc_mv[_FRONT_WORD]
 
     @property
     def back(self) -> int:
         """Producer index (free-running 32-bit counter in the descriptor page)."""
-        return int(self._desc[_BACK_WORD])
+        return self._desc_mv[_BACK_WORD]
 
     @property
     def used_slots(self) -> int:
@@ -176,14 +184,15 @@ class Fifo:
     def push(self, data: bytes, msg_type: int = 1) -> bool:
         """Producer: append one entry.  Returns False when there is no room
         (the caller puts the packet on its waiting list, Sect. 3.1)."""
-        need = self.slots_needed(len(data))
-        back = self.back
-        if need > self.size - ((back - self.front) & INDEX_MASK):
+        need = 1 + (len(data) + 7) // 8
+        desc = self._desc_mv
+        back = desc[_BACK_WORD]
+        if need > self.size - ((back - desc[_FRONT_WORD]) & INDEX_MASK):
             self.push_failures += 1
             return False
         self._write_slots(back & self.mask, _META.pack(len(data), msg_type, 0) + data)
         # Single index store *after* the data write publishes the entry.
-        self._desc[_BACK_WORD] = (back + need) & INDEX_MASK
+        desc[_BACK_WORD] = (back + need) & INDEX_MASK
         self.pushes += 1
         return True
 
@@ -204,37 +213,46 @@ class Fifo:
         sk_buff points into the FIFO and the space is released only
         after protocol processing); call :meth:`advance` afterwards.
         """
-        front = self.front
-        if front == self.back:
+        desc = self._desc_mv
+        front = desc[_FRONT_WORD]
+        if front == desc[_BACK_WORD]:
             return None
-        meta = self._read_slots(front & self.mask, 8)
-        length, msg_type, _rsvd = _META.unpack(meta)
-        need = self.slots_needed(length)
-        payload = self._read_slots((front + 1) & self.mask, need * 8 - 8)[:length]
-        return msg_type, bytes(payload), need
+        mv = self._data_mv
+        meta_start = (front & self.mask) * 8
+        length, msg_type, _rsvd = _META.unpack(mv[meta_start : meta_start + 8])
+        need = 1 + (length + 7) // 8
+        start = ((front + 1) & self.mask) * 8
+        end = start + length
+        ring_bytes = self._ring_bytes
+        if end <= ring_bytes:
+            payload = bytes(mv[start:end])
+        else:
+            payload = bytes(mv[start:ring_bytes]) + bytes(mv[: end - ring_bytes])
+        return msg_type, payload, need
 
     def advance(self, slots: int) -> None:
         """Consumer: release ``slots`` (from a previous :meth:`peek`)."""
-        self._desc[_FRONT_WORD] = (self.front + slots) & INDEX_MASK
+        desc = self._desc_mv
+        desc[_FRONT_WORD] = (desc[_FRONT_WORD] + slots) & INDEX_MASK
         self.pops += 1
 
     # -- raw slot I/O with wrap-around ---------------------------------------
     def _write_slots(self, slot: int, blob: bytes) -> None:
         start = slot * 8
         end = start + len(blob)
-        ring_bytes = self.size * 8
-        src = np.frombuffer(blob, dtype=np.uint8)
+        ring_bytes = self._ring_bytes
+        mv = self._data_mv
         if end <= ring_bytes:
-            self._data[start:end] = src
+            mv[start:end] = blob
         else:
             first = ring_bytes - start
-            self._data[start:ring_bytes] = src[:first]
-            self._data[: end - ring_bytes] = src[first:]
+            mv[start:ring_bytes] = blob[:first]
+            mv[: end - ring_bytes] = blob[first:]
 
     def _read_slots(self, slot: int, nbytes: int) -> np.ndarray:
         start = slot * 8
         end = start + nbytes
-        ring_bytes = self.size * 8
+        ring_bytes = self._ring_bytes
         if end <= ring_bytes:
             return self._data[start:end]
         first = self._data[start:ring_bytes]

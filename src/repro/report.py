@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Optional, Sequence
 
-__all__ = ["format_series", "format_table", "ratio"]
+__all__ = ["format_engine_stats", "format_series", "format_table", "ratio"]
 
 
 def format_table(
@@ -68,6 +68,22 @@ def format_series(
     for row in body:
         lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
     return "\n".join(lines)
+
+
+def format_engine_stats(stats: Mapping[str, float]) -> str:
+    """One-line render of :func:`repro.trace.engine_stats` output.
+
+    Used by the throughput bench (and handy after any run) to report
+    engine-level throughput alongside the simulated results.
+    """
+    parts = [f"events={int(stats['events']):,}"]
+    if "sim_time" in stats:
+        parts.append(f"sim_time={stats['sim_time']:.6f}s")
+    if "wall_s" in stats:
+        parts.append(f"wall={stats['wall_s']:.3f}s")
+    if "events_per_sec" in stats:
+        parts.append(f"rate={stats['events_per_sec']:,.0f} events/s")
+    return "engine: " + "  ".join(parts)
 
 
 def ratio(a: float, b: float) -> float:

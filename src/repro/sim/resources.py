@@ -135,6 +135,28 @@ class _Core:
         self.last_domain: Optional[Hashable] = None
 
 
+class _Completion:
+    """Calendar entry marking the end of one CPU work segment.
+
+    Replaces the old Timeout-plus-callback-lambda chain with a single
+    scheduled record: the whole segment lifecycle is one heap entry, no
+    intermediate Event or closure allocation.  Scheduling order matches
+    the old ``_start``/``_finish`` chain exactly (one sequence number per
+    segment, completion work before ``done.succeed()``).
+    """
+
+    __slots__ = ("cpus", "core", "domain", "done")
+
+    def __init__(self, cpus: "CPUCores", core: _Core, domain: Hashable, done: Event):
+        self.cpus = cpus
+        self.core = core
+        self.domain = domain
+        self.done = done
+
+    def _process(self) -> None:
+        self.cpus._complete(self.core, self.domain, self.done)
+
+
 class CPUCores:
     """``n`` identical cores shared by simulation *domains*.
 
@@ -178,13 +200,30 @@ class CPUCores:
         """Run ``cost`` seconds of work for ``domain``; event fires at end."""
         if cost < 0:
             raise ValueError(f"negative work cost: {cost}")
-        done = self.sim.event(name=f"cpu:{domain}")
+        done = Event(self.sim, name="cpu")
         core = self._pick_core(domain) if self._may_run(domain) else None
         if core is not None:
             self._start(core, domain, cost, done)
         else:
             self._queue.append((domain, cost, done))
         return done
+
+    def execute_batch(self, domain: Hashable, costs) -> Event:
+        """Run several work parts for ``domain`` as ONE segment.
+
+        The segment's cost is the sum of ``costs``; core affinity is
+        resolved once and at most one ``switch_penalty`` is charged for
+        the whole batch -- this is the batched-cost-charging primitive
+        the per-packet paths use to coalesce a drained burst into a
+        single calendar entry.  The returned event fires when the whole
+        batch completes.
+        """
+        total = 0.0
+        for cost in costs:
+            if cost < 0:
+                raise ValueError(f"negative work cost: {cost}")
+            total += cost
+        return self.execute(domain, total)
 
     @property
     def queued(self) -> int:
@@ -209,19 +248,22 @@ class CPUCores:
             self.total_switches += 1
         core.busy = True
         core.last_domain = domain
-        self._running[domain] = self._running.get(domain, 0) + 1
+        running = self._running
+        running[domain] = running.get(domain, 0) + 1
         self.total_busy_time += total
-        timer = self.sim.timeout(total)
-        timer.callbacks.append(lambda _: self._finish(core, domain, done))
+        # Single scheduled completion for the whole segment.
+        self.sim._schedule(_Completion(self, core, domain, done), total)
 
-    def _finish(self, core: _Core, domain: Hashable, done: Event) -> None:
+    def _complete(self, core: _Core, domain: Hashable, done: Event) -> None:
         core.busy = False
         self._running[domain] -= 1
         # Admit the first queued segment whose domain is under its limit.
-        for i, (qdomain, cost, ev) in enumerate(self._queue):
-            if self._may_run(qdomain):
-                del self._queue[i]
-                chosen = self._pick_core(qdomain) or core
-                self._start(chosen, qdomain, cost, ev)
-                break
+        queue = self._queue
+        if queue:
+            for i, (qdomain, cost, ev) in enumerate(queue):
+                if self._may_run(qdomain):
+                    del queue[i]
+                    chosen = self._pick_core(qdomain) or core
+                    self._start(chosen, qdomain, cost, ev)
+                    break
         done.succeed()

@@ -24,7 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.net.packet import Packet
     from repro.scenarios import Scenario
 
-__all__ = ["adopt", "enable", "hops", "mark", "traced_ping"]
+__all__ = ["adopt", "enable", "engine_stats", "hops", "mark", "traced_ping"]
 
 _KEY = "trace"
 
@@ -79,6 +79,23 @@ def mark(packet: "Packet", stage: str, now: float) -> None:
 def hops(packet: "Packet") -> list[tuple[str, float]]:
     """The recorded (stage, time) list of a traced packet."""
     return list(packet.meta.get(_KEY, ()))
+
+
+def engine_stats(sim, wall_s: Optional[float] = None) -> dict:
+    """Snapshot of the simulator's engine-level counters.
+
+    Returns ``{"events": <calendar entries processed>, "sim_time": now}``
+    plus, when the caller supplies the measured wall-clock seconds,
+    ``wall_s`` and the derived ``events_per_sec`` -- the throughput
+    number tracked by ``benchmarks/bench_engine_throughput.py`` (see
+    :attr:`repro.sim.engine.Simulator.event_count` for what counts as an
+    event).
+    """
+    stats = {"events": sim.event_count, "sim_time": sim.now}
+    if wall_s is not None:
+        stats["wall_s"] = wall_s
+        stats["events_per_sec"] = sim.event_count / wall_s if wall_s > 0 else 0.0
+    return stats
 
 
 def traced_ping(scenario: "Scenario", size: int = 56) -> list[tuple[str, float]]:

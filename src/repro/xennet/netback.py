@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro import trace
 from repro.net.bridge import BridgePort
 from repro.net.packet import Packet
 from repro.sim.resources import Store
@@ -75,6 +76,10 @@ class Netback:
         if not self._kick.triggered:
             self._kick.succeed()
 
+    #: max TX requests drained per charged burst; bounds how much
+    #: latency the aggregated charge can shift onto the first packet.
+    TX_BURST = 64
+
     # -- guest -> bridge ----------------------------------------------------
     def _tx_drain_loop(self):
         dom0 = self.dom0
@@ -88,27 +93,39 @@ class Netback:
                 # Credit-scheduler delay before Dom0's worker actually runs.
                 yield dom0.sim.timeout(costs.dom0_wakeup_latency)
                 continue
-            packet: Packet = self.tx_ring.pop_request()
-            npages = pages_for(packet.wire_len)
-            # Map the granted pages, copy/inspect, unmap, respond.
-            yield dom0.exec(
-                costs.hypercall
-                + costs.grant_map_page * npages
-                + costs.copy_cost(packet.wire_len)
-                + costs.netback_per_packet
-                + costs.hypercall
-                + costs.grant_unmap_page * npages
-            )
-            self.tx_ring.push_response(packet.wire_len)
-            self.tx_packets += 1
-            from repro import trace
-
-            trace.mark(packet, "netback-tx", dom0.sim.now)
-            # Completion notify back to the guest (coalesced).
-            yield dom0.exec(costs.evtchn_send)
-            dom0.machine.hypervisor.evtchn.notify(self.evtchn_port)
-            # Forward through the bridge inline to preserve ordering.
-            yield from self.bridge.forward(self.port, packet)
+            # Drain a burst of requests and charge ONE aggregated CPU
+            # segment for the per-packet map/copy/unmap hypercall work
+            # plus the completion notifies (same total cost as charging
+            # each packet separately -- copy_cost is linear).
+            burst: list[Packet] = []
+            cost = 0.0
+            while self.tx_ring.has_requests and len(burst) < self.TX_BURST:
+                packet: Packet = self.tx_ring.pop_request()
+                npages = pages_for(packet.wire_len)
+                cost += (
+                    costs.hypercall
+                    + costs.grant_map_page * npages
+                    + costs.copy_cost(packet.wire_len)
+                    + costs.netback_per_packet
+                    + costs.hypercall
+                    + costs.grant_unmap_page * npages
+                    + costs.evtchn_send
+                )
+                burst.append(packet)
+            yield dom0.exec(cost)
+            for packet in burst:
+                if self.detached:
+                    # detach() landed mid-burst (e.g. during a forward):
+                    # the port is closed, drop the rest of the burst.
+                    return
+                self.tx_ring.push_response(packet.wire_len)
+                self.tx_packets += 1
+                trace.mark(packet, "netback-tx", dom0.sim.now)
+                # Completion notify back to the guest (coalesced; the
+                # hypercall cost was charged in the aggregated segment).
+                dom0.machine.hypervisor.evtchn.notify(self.evtchn_port)
+                # Forward through the bridge inline to preserve ordering.
+                yield from self.bridge.forward(self.port, packet)
 
     # -- bridge -> guest -------------------------------------------------------
     def to_guest(self, packet: Packet):
@@ -132,8 +149,6 @@ class Netback:
                 + costs.netback_per_packet
             )
         yield dom0.exec(cost)
-        from repro import trace
-
         trace.mark(packet, "netback-rx-to-guest", dom0.sim.now)
         yield self.rx_store.put(packet)  # blocks while the guest RX ring is full
         self.rx_packets += 1

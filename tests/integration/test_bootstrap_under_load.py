@@ -14,6 +14,7 @@ FAST = scenarios.DEFAULT_COSTS.replace(discovery_period=0.2, bootstrap_timeout=0
 
 
 class TestBootstrapUnderLoad:
+    @pytest.mark.slow
     def test_channel_connects_during_saturating_udp(self):
         scn = scenarios.xenloop(FAST)
         sim = scn.sim

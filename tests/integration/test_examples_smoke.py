@@ -33,6 +33,7 @@ class TestExamples:
         module = load(path)
         assert callable(getattr(module, "main", None)), f"{path.stem} has no main()"
 
+    @pytest.mark.slow
     def test_quickstart_runs(self, capsys):
         module = load(ROOT / "examples" / "quickstart.py")
         module.main()

@@ -1,0 +1,70 @@
+"""Golden-value determinism regression for the engine fast path.
+
+These tuples were captured on the optimised engine (immediate run
+queue, allocation-free resume, single-shot CPU completions, batched
+cost charging) with seed=7 and the FAST control-plane costs.  Any
+change to engine scheduling order, cost charging, or the data-path
+batching that shifts simulated results will break these exact
+comparisons -- which is the point: the fast path must not change what
+the simulation computes, only how fast it computes it.
+"""
+
+from repro import scenarios
+from repro.workloads.netperf import tcp_rr, udp_stream
+
+FAST = scenarios.DEFAULT_COSTS.replace(discovery_period=0.2, bootstrap_timeout=0.01)
+
+GOLDEN_UDP = {
+    # (bytes_received, mbps, messages_sent, drops)
+    "xenloop": (1015808, 410.99805937025326, 334, 0),
+    "netfront_netback": (1048576, 424.3305163003387, 342, 0),
+}
+
+GOLDEN_TCP_RR = {
+    # (transactions, trans_per_sec, latency_us, p50_us, p99_us)
+    "xenloop": (
+        147,
+        7318.607329518545,
+        136.6380179964902,
+        136.54522487050943,
+        142.24804036293855,
+    ),
+    "netfront_netback": (
+        154,
+        7681.570033869365,
+        130.18172008988108,
+        130.05068528075103,
+        135.72010682263328,
+    ),
+}
+
+
+def _udp(name):
+    scn = scenarios.build(name, FAST, seed=7)
+    r = udp_stream(scn, msg_size=4096, duration=0.02)
+    return (r.bytes_received, r.mbps, r.messages_sent, r.drops)
+
+
+def _tcp_rr(name):
+    scn = scenarios.build(name, FAST, seed=7)
+    r = tcp_rr(scn, duration=0.02)
+    return (r.transactions, r.trans_per_sec, r.latency_us, r.p50_us, r.p99_us)
+
+
+class TestGoldenValues:
+    """Bit-exact simulated results for fixed seeds (no approx here)."""
+
+    def test_udp_stream_xenloop(self):
+        assert _udp("xenloop") == GOLDEN_UDP["xenloop"]
+
+    def test_udp_stream_netfront_netback(self):
+        assert _udp("netfront_netback") == GOLDEN_UDP["netfront_netback"]
+
+    def test_tcp_rr_xenloop(self):
+        assert _tcp_rr("xenloop") == GOLDEN_TCP_RR["xenloop"]
+
+    def test_tcp_rr_netfront_netback(self):
+        assert _tcp_rr("netfront_netback") == GOLDEN_TCP_RR["netfront_netback"]
+
+    def test_udp_stream_repeatable_within_process(self):
+        assert _udp("xenloop") == _udp("xenloop")

@@ -131,6 +131,7 @@ class TestChannelLifecycleAcrossMigration:
         # and traffic still flows over the wire
         assert udp_roundtrip(scn, b"remote", 8204) == b"REMOTE"
 
+    @pytest.mark.slow
     def test_tcp_connection_survives_round_trip_migration(self, pair):
         """An established TCP connection keeps working while its peer
         migrates in and back out (paper: "without disrupting ongoing

@@ -1,0 +1,150 @@
+"""Fast-path invariants: immediate run queue ordering, event counter,
+and batched CPU cost charging (``CPUCores.execute_batch``)."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.resources import CPUCores
+
+
+def _tag(order, label):
+    return lambda ev: order.append(label)
+
+
+class TestSameTimeOrdering:
+    def test_heap_and_immediate_fire_in_scheduling_order(self, sim):
+        """Same-timestamp events fire in FIFO *scheduling* order whether
+        they sit on the heap (delayed) or the immediate run queue
+        (zero-delay succeed / timeout(0))."""
+        order = []
+        # Heap entries for t=1.0, created first (lowest sequence numbers).
+        sim.timeout(1.0).callbacks.append(_tag(order, "heap-1"))
+        sim.timeout(1.0).callbacks.append(_tag(order, "heap-2"))
+
+        def driver():
+            yield sim.timeout(1.0)  # resumes at t=1.0, after heap-1/heap-2
+            order.append("driver")
+            for i in (1, 2):
+                ev = sim.event()
+                ev.callbacks.append(_tag(order, f"imm-{i}"))
+                ev.succeed()  # immediate queue, same timestamp
+            yield sim.timeout(0)  # behind the two immediates
+            order.append("driver-after")
+
+        sim.process(driver())
+        sim.run()
+        assert order == ["heap-1", "heap-2", "driver", "imm-1", "imm-2", "driver-after"]
+
+    def test_zero_delay_succeed_fires_before_later_heap_event(self, sim):
+        order = []
+        sim.timeout(2.0).callbacks.append(_tag(order, "late-heap"))
+        ev = sim.event()
+        ev.callbacks.append(_tag(order, "immediate"))
+        ev.succeed()
+        sim.run()
+        assert order == ["immediate", "late-heap"]
+        assert sim.now == 2.0
+
+    def test_immediate_queue_preserves_fifo_among_many(self, sim):
+        order = []
+        for i in range(20):
+            ev = sim.event()
+            ev.callbacks.append(_tag(order, i))
+            ev.succeed()
+        sim.run()
+        assert order == list(range(20))
+
+    def test_delayed_succeed_goes_through_heap(self, sim):
+        order = []
+        a = sim.event()
+        a.callbacks.append(_tag(order, "delayed"))
+        a.succeed(delay=1.0)
+        b = sim.event()
+        b.callbacks.append(_tag(order, "now"))
+        b.succeed()
+        sim.run()
+        assert order == ["now", "delayed"]
+
+    def test_event_count_counts_all_calendar_entries(self, sim):
+        assert sim.event_count == 0
+
+        def worker():
+            yield sim.timeout(1.0)
+            yield sim.timeout(0)
+
+        sim.process(worker())
+        sim.run()
+        # init resume + two timeouts + two process-resume steps are all
+        # popped off the calendar; the exact total is an implementation
+        # detail, but it must be positive and monotonic.
+        first = sim.event_count
+        assert first > 0
+        sim.timeout(0)
+        sim.run()
+        assert sim.event_count == first + 1
+
+
+class TestExecuteBatch:
+    def test_cost_equals_sum_of_parts(self):
+        sim = Simulator()
+        cpus = CPUCores(sim, n_cores=1)
+        done = cpus.execute_batch("A", [1.0, 2.0, 0.5])
+        sim.run()
+        assert done.processed
+        assert sim.now == pytest.approx(3.5)
+        assert cpus.total_busy_time == pytest.approx(3.5)
+
+    def test_switch_penalty_charged_once_per_batch(self):
+        sim = Simulator()
+        cpus = CPUCores(sim, n_cores=1, switch_penalty=0.5)
+        cpus.execute("B", 1.0)  # prime the core's last_domain
+        sim.run()
+        assert cpus.total_switches == 0
+        cpus.execute_batch("A", [1.0, 1.0, 1.0])
+        sim.run()
+        # one switch B->A for the whole batch, not one per part
+        assert cpus.total_switches == 1
+        assert sim.now == pytest.approx(1.0 + 0.5 + 3.0)
+
+    def test_batch_matches_sequential_total_cost(self):
+        parts = [0.25, 0.5, 0.125]
+        sim_a = Simulator()
+        cpus_a = CPUCores(sim_a, n_cores=1)
+        cpus_a.execute_batch("A", parts)
+        sim_a.run()
+        sim_b = Simulator()
+        cpus_b = CPUCores(sim_b, n_cores=1)
+
+        def sequential():
+            for cost in parts:
+                yield cpus_b.execute("A", cost)
+
+        sim_b.process(sequential())
+        sim_b.run()
+        assert sim_a.now == pytest.approx(sim_b.now)
+        assert cpus_a.total_busy_time == pytest.approx(cpus_b.total_busy_time)
+
+    def test_affinity_prefers_warm_core(self):
+        sim = Simulator()
+        cpus = CPUCores(sim, n_cores=2, switch_penalty=1.0)
+        cpus.execute("A", 1.0)
+        cpus.execute("B", 1.0)
+        sim.run()
+        # Both cores warm; a batch for A must land on A's core: no switch.
+        cpus.execute_batch("A", [0.5, 0.5])
+        sim.run()
+        assert cpus.total_switches == 0
+
+    def test_negative_part_rejected(self):
+        sim = Simulator()
+        cpus = CPUCores(sim, n_cores=1)
+        with pytest.raises(ValueError):
+            cpus.execute_batch("A", [1.0, -0.1])
+
+    def test_empty_batch_completes_at_current_time(self):
+        sim = Simulator()
+        cpus = CPUCores(sim, n_cores=1)
+        done = cpus.execute_batch("A", [])
+        sim.run()
+        assert done.processed
+        assert sim.now == 0.0

@@ -24,6 +24,7 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["ping", "nonexistent"])
 
+    @pytest.mark.slow
     def test_bypass_comparison(self, capsys):
         assert main(["bypass"]) == 0
         out = capsys.readouterr().out

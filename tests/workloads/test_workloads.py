@@ -111,6 +111,7 @@ class TestOsu:
 
 
 class TestMigrationRr:
+    @pytest.mark.slow
     def test_fig11_shape(self):
         """Transaction rate: low (remote) -> high (co-resident+XenLoop)
         -> low (remote again)."""

@@ -1,0 +1,63 @@
+"""Reproduce the simulation-engine hot-path profile on demand.
+
+Runs the engine-throughput workload (``udp_stream`` on a scenario) under
+cProfile and prints the hottest functions, the view that motivated the
+fast-path work: immediate run queue, allocation-free resume, single-shot
+CPU completions, and batched cost charging.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_hotpath.py
+    PYTHONPATH=src python tools/profile_hotpath.py --duration 0.1 --sort cumulative
+    PYTHONPATH=src python tools/profile_hotpath.py -o hotpath.pstats  # for snakeviz etc.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import time
+
+from repro import scenarios, trace
+from repro.workloads import netperf
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", default="xenloop")
+    parser.add_argument("--msg-size", type=int, default=4096)
+    parser.add_argument("--duration", type=float, default=0.5)
+    parser.add_argument(
+        "--sort", default="tottime", choices=["tottime", "cumulative", "ncalls"]
+    )
+    parser.add_argument("--limit", type=int, default=25, help="rows to print")
+    parser.add_argument("-o", "--output", help="also dump raw pstats to this file")
+    args = parser.parse_args()
+
+    profiler = cProfile.Profile()
+    t0 = time.perf_counter()
+    profiler.enable()
+    scn = scenarios.build(args.scenario)
+    result = netperf.udp_stream(scn, msg_size=args.msg_size, duration=args.duration)
+    profiler.disable()
+    wall = time.perf_counter() - t0
+
+    stats = trace.engine_stats(scn.sim, wall_s=wall)
+    print(
+        f"{args.scenario} udp_stream msg_size={args.msg_size} "
+        f"duration={args.duration}: {result.mbps:,.1f} Mbit/s simulated"
+    )
+    print(
+        f"{stats['events']:,} events in {wall:.2f}s wall "
+        f"= {stats['events_per_sec']:,.0f} events/s\n"
+    )
+    ps = pstats.Stats(profiler)
+    ps.sort_stats(args.sort).print_stats(args.limit)
+    if args.output:
+        ps.dump_stats(args.output)
+        print(f"raw profile written to {args.output}")
+
+
+if __name__ == "__main__":
+    main()
