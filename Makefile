@@ -4,7 +4,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke examples clean
+.PHONY: install test bench bench-all bench-smoke examples clean
 
 install:
 	@$(PYTHON) -m pip install -e . 2>/dev/null || ( \
@@ -17,6 +17,11 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Full suite, fanned out over a process pool (one worker per bench
+# file); merged summary lands in benchmarks/results/run_benches.json.
+bench-all:
+	PYTHONPATH=src $(PYTHON) tools/run_benches.py
 
 # Quick perf pulse: engine events/sec (writes BENCH_engine.json at the
 # repo root) plus one short table bench, so the perf trajectory is

@@ -89,10 +89,12 @@ class Channel:
         # Connector-side map bookkeeping: (gref, page) pairs.
         self._mapped_grefs: list[int] = []
 
-        #: entries (msg_type, data) that did not fit in the FIFO, "placed
-        #: in a waiting list to be sent once enough resources are
-        #: available".
-        self.waiting_list: deque[tuple[int, bytes]] = deque()
+        #: entries (msg_type, data, staging_buf) that did not fit in the
+        #: FIFO, "placed in a waiting list to be sent once enough
+        #: resources are available".  ``data`` is bytes or a memoryview
+        #: into ``staging_buf``, a buffer borrowed from the module's
+        #: BufferPool (returned once the entry leaves the list).
+        self.waiting_list: deque[tuple[int, object, Optional[bytearray]]] = deque()
         self.waiting_bytes = 0
         self._waiting_space_waiters: deque = deque()
         #: optional handler for ENTRY_STREAM entries (socket bypass);
@@ -255,14 +257,26 @@ class Channel:
         context).  Returns True when the channel took the packet (into
         the FIFO or onto the waiting list, flushed on space-available
         notifications) and False when the channel is unusable -- the
-        caller then lets the packet continue down the standard path."""
+        caller then lets the packet continue down the standard path.
+
+        Scatter-gather: the packet's wire format goes in as header and
+        payload views (or the packet's cached serialization, when one is
+        valid) written straight into the ring -- no joined intermediate
+        bytes object on this path."""
         trace.mark(packet, "xenloop-fifo-push", self.guest.sim.now)
-        taken = yield from self.send_entry(ENTRY_IPV4, packet.to_l3_bytes())
+        taken = yield from self.send_entry_parts(ENTRY_IPV4, packet.to_l3_parts())
         return taken
 
     def send_entry(self, msg_type: int, data: bytes):
-        """Copy one typed entry into the outgoing FIFO (generator, sender
-        context).  The base module sends ENTRY_IPV4 packets; the
+        """Copy one pre-joined typed entry into the outgoing FIFO
+        (generator, sender context)."""
+        taken = yield from self.send_entry_parts(msg_type, (data,))
+        return taken
+
+    def send_entry_parts(self, msg_type: int, parts):
+        """Copy one typed entry -- given as a sequence of buffer views
+        forming its wire format -- into the outgoing FIFO (generator,
+        sender context).  The base module sends ENTRY_IPV4 packets; the
         experimental socket-bypass variant sends ENTRY_STREAM frames.
 
         The shared ACTIVE flag is re-checked right before the copy: a
@@ -275,6 +289,9 @@ class Channel:
         costs = guest.costs
         if not self._usable():
             return False
+        nbytes = 0
+        for part in parts:
+            nbytes += len(part)
         # Batched charging: when the entry will clearly fit, the FIFO
         # bookkeeping, the copy, and the notify hypercall are charged as
         # ONE CPU segment (one calendar entry instead of three).  The
@@ -283,9 +300,9 @@ class Channel:
         out_fifo = self.out_fifo
         will_notify = (
             not self.waiting_list
-            and out_fifo.free_slots >= out_fifo.slots_needed(len(data))
+            and out_fifo.free_slots >= out_fifo.slots_needed(nbytes)
         )
-        cost = costs.xenloop_fifo_op + costs.copy_cost(len(data))
+        cost = costs.xenloop_fifo_op + costs.copy_cost(nbytes)
         if will_notify:
             cost += costs.evtchn_send
         yield guest.exec(cost)
@@ -293,23 +310,39 @@ class Channel:
             return False
         if self.waiting_list:
             # Preserve ordering behind already-waiting entries.
-            self.waiting_list.append((msg_type, data))
-            self.waiting_bytes += len(data)
+            self._park(msg_type, parts, nbytes)
             self.out_fifo.set_producer_waiting()
             return True
-        if self.out_fifo.push(data, msg_type):
+        if self.out_fifo.push_vec(parts, msg_type):
             self.pkts_sent += 1
-            self.bytes_sent += len(data)
+            self.bytes_sent += nbytes
             self.last_activity = guest.sim.now
             if not will_notify:
                 yield guest.exec(costs.evtchn_send)
             self.notifies += 1
             guest.machine.hypervisor.evtchn.notify(self.port)
         else:
-            self.waiting_list.append((msg_type, data))
-            self.waiting_bytes += len(data)
+            self._park(msg_type, parts, nbytes)
             self.out_fifo.set_producer_waiting()
         return True
+
+    def _park(self, msg_type: int, parts, nbytes: int) -> None:
+        """Stage an entry on the waiting list.  A single-bytes entry is
+        parked as-is; a scatter-gather entry is joined into a buffer
+        borrowed from the module's staging pool (returned to the pool
+        when the entry leaves the list), so a backpressure burst reuses
+        the same few buffers instead of allocating per parked packet."""
+        if len(parts) == 1 and type(parts[0]) is bytes:
+            self.waiting_list.append((msg_type, parts[0], None))
+        else:
+            buf = self.module.staging_pool.acquire(nbytes)
+            pos = 0
+            for part in parts:
+                n = len(part)
+                buf[pos : pos + n] = part
+                pos += n
+            self.waiting_list.append((msg_type, memoryview(buf)[:nbytes], buf))
+        self.waiting_bytes += nbytes
 
     def _usable(self) -> bool:
         return (
@@ -333,7 +366,7 @@ class Channel:
         cost = 0.0
         pushed = False
         while self.waiting_list and self._usable():
-            msg_type, data = self.waiting_list[0]
+            msg_type, data, buf = self.waiting_list[0]
             cost += costs.xenloop_fifo_op
             if not self.out_fifo.push(data, msg_type):
                 self.out_fifo.set_producer_waiting()
@@ -343,6 +376,9 @@ class Channel:
             self.pkts_sent += 1
             self.bytes_sent += len(data)
             cost += costs.copy_cost(len(data))
+            if buf is not None:
+                data = None  # drop the view before recycling its buffer
+                self.module.staging_pool.release(buf)
             pushed = True
         if pushed:
             self.last_activity = guest.sim.now
@@ -448,16 +484,19 @@ class Channel:
         authors; reproduced here for the ablation benchmark."""
         guest = self.guest
         costs = guest.costs
-        entry = self.in_fifo.peek()
+        entry = self.in_fifo.peek_view()
         if entry is None:
             return False
-        msg_type, data, slots = entry
+        msg_type, segments, slots = entry
         yield guest.exec(costs.xenloop_fifo_op)  # no copy!
         if msg_type == ENTRY_IPV4:
+            # The ring views stay valid until advance(); the bytes
+            # materialize exactly once, inside from_l3_bytes.
+            data = segments[0] if len(segments) == 1 else b"".join(segments)
             packet = Packet.from_l3_bytes(data)
             packet.meta["via"] = "xenloop-zerocopy"
             self.pkts_received += 1
-            self.bytes_received += len(data)
+            self.bytes_received += packet.l3_len
             self.last_activity = guest.sim.now
             # Protocol processing runs inline, with the FIFO space held...
             yield from guest.stack.ipv4.input(packet, _ZeroCopySource())
@@ -515,7 +554,16 @@ class Channel:
             self.module.resend_via_standard_path(data)
 
     def _take_saved_packets(self) -> list[bytes]:
-        saved = [data for msg_type, data in self.waiting_list if msg_type == ENTRY_IPV4]
+        saved = []
+        pool = self.module.staging_pool
+        for msg_type, data, buf in self.waiting_list:
+            if msg_type == ENTRY_IPV4:
+                # Materialize pooled views: the saved bytes outlive the
+                # staging buffer, which goes back to the pool now.
+                saved.append(bytes(data) if buf is not None else data)
+            if buf is not None:
+                data = None
+                pool.release(buf)
         self.waiting_list.clear()
         self.waiting_bytes = 0
         self._wake_waiting_space()

@@ -35,9 +35,10 @@ from typing import Optional
 
 import numpy as np
 
+from repro.net.packet import WIRE_STATS
 from repro.xen.page import PAGE_SIZE, SharedRegion
 
-__all__ = ["Fifo", "FifoLayoutError", "fifo_pages_for_order"]
+__all__ = ["BufferPool", "Fifo", "FifoLayoutError", "fifo_pages_for_order"]
 
 #: descriptor-page word offsets (uint32).
 _MAGIC_WORD = 0
@@ -181,7 +182,7 @@ class Fifo:
         return self.slots_needed(nbytes) <= self.size
 
     # -- the lockless operations ------------------------------------------
-    def push(self, data: bytes, msg_type: int = 1) -> bool:
+    def push(self, data, msg_type: int = 1) -> bool:
         """Producer: append one entry.  Returns False when there is no room
         (the caller puts the packet on its waiting list, Sect. 3.1)."""
         need = 1 + (len(data) + 7) // 8
@@ -190,10 +191,35 @@ class Fifo:
         if need > self.size - ((back - desc[_FRONT_WORD]) & INDEX_MASK):
             self.push_failures += 1
             return False
-        self._write_slots(back & self.mask, _META.pack(len(data), msg_type, 0) + data)
+        slot = back & self.mask
+        _META.pack_into(self._data_mv, slot * 8, len(data), msg_type, 0)
+        self._write_stream((back + 1) & self.mask, (data,))
         # Single index store *after* the data write publishes the entry.
         desc[_BACK_WORD] = (back + need) & INDEX_MASK
         self.pushes += 1
+        WIRE_STATS.fifo_bytes_in += len(data)
+        return True
+
+    def push_vec(self, parts, msg_type: int = 1) -> bool:
+        """Producer: scatter-gather append.  ``parts`` is a sequence of
+        buffers (bytes/memoryview) that together form one entry; each is
+        written straight into the ring -- header and payload views never
+        get joined into an intermediate bytes object on this path."""
+        total = 0
+        for part in parts:
+            total += len(part)
+        need = 1 + (total + 7) // 8
+        desc = self._desc_mv
+        back = desc[_BACK_WORD]
+        if need > self.size - ((back - desc[_FRONT_WORD]) & INDEX_MASK):
+            self.push_failures += 1
+            return False
+        slot = back & self.mask
+        _META.pack_into(self._data_mv, slot * 8, total, msg_type, 0)
+        self._write_stream((back + 1) & self.mask, parts)
+        desc[_BACK_WORD] = (back + need) & INDEX_MASK
+        self.pushes += 1
+        WIRE_STATS.fifo_bytes_in += total
         return True
 
     def pop(self) -> Optional[tuple[int, bytes]]:
@@ -208,18 +234,17 @@ class Fifo:
     def peek(self) -> Optional[tuple[int, bytes, int]]:
         """Consumer: read the oldest entry WITHOUT freeing its slots.
 
-        Returns (type, payload, slots).  Used by the zero-copy receive
-        variant (the design alternative of Sect. 3.3 in which the
-        sk_buff points into the FIFO and the space is released only
-        after protocol processing); call :meth:`advance` afterwards.
+        Returns (type, payload, slots); call :meth:`advance` afterwards.
+        The payload is materialized in a single pass even when the entry
+        wraps around the ring edge (one join of the two ring views, not
+        two intermediate ``bytes`` copies).
         """
         desc = self._desc_mv
         front = desc[_FRONT_WORD]
         if front == desc[_BACK_WORD]:
             return None
         mv = self._data_mv
-        meta_start = (front & self.mask) * 8
-        length, msg_type, _rsvd = _META.unpack(mv[meta_start : meta_start + 8])
+        length, msg_type, _rsvd = _META.unpack_from(mv, (front & self.mask) * 8)
         need = 1 + (length + 7) // 8
         start = ((front + 1) & self.mask) * 8
         end = start + length
@@ -227,8 +252,39 @@ class Fifo:
         if end <= ring_bytes:
             payload = bytes(mv[start:end])
         else:
-            payload = bytes(mv[start:ring_bytes]) + bytes(mv[: end - ring_bytes])
+            payload = b"".join((mv[start:ring_bytes], mv[: end - ring_bytes]))
+        WIRE_STATS.fifo_bytes_out += length
         return msg_type, payload, need
+
+    def peek_view(self) -> Optional[tuple[int, tuple, int]]:
+        """Consumer: zero-copy view of the oldest entry's payload.
+
+        Returns (type, segments, slots) where ``segments`` is a tuple of
+        one or two memoryviews into the ring (two iff the entry wraps).
+        Nothing is copied here: the views alias shared ring memory and
+        stay valid until :meth:`advance` releases the slots, so callers
+        must finish reading (or materialize -- e.g. via
+        ``Packet.from_l3_bytes``, the receive path's single
+        materialization point) before advancing.  Used by the zero-copy
+        receive variant (the design alternative of Sect. 3.3 in which
+        the sk_buff points into the FIFO and the space is released only
+        after protocol processing).
+        """
+        desc = self._desc_mv
+        front = desc[_FRONT_WORD]
+        if front == desc[_BACK_WORD]:
+            return None
+        mv = self._data_mv
+        length, msg_type, _rsvd = _META.unpack_from(mv, (front & self.mask) * 8)
+        need = 1 + (length + 7) // 8
+        start = ((front + 1) & self.mask) * 8
+        end = start + length
+        ring_bytes = self._ring_bytes
+        if end <= ring_bytes:
+            segments = (mv[start:end],)
+        else:
+            segments = (mv[start:ring_bytes], mv[: end - ring_bytes])
+        return msg_type, segments, need
 
     def advance(self, slots: int) -> None:
         """Consumer: release ``slots`` (from a previous :meth:`peek`)."""
@@ -237,17 +293,25 @@ class Fifo:
         self.pops += 1
 
     # -- raw slot I/O with wrap-around ---------------------------------------
-    def _write_slots(self, slot: int, blob: bytes) -> None:
-        start = slot * 8
-        end = start + len(blob)
-        ring_bytes = self._ring_bytes
+    def _write_stream(self, slot: int, parts) -> None:
+        """Write ``parts`` contiguously into the ring starting at ``slot``,
+        wrapping at the ring edge.  Each part is copied exactly once,
+        directly from the caller's buffer into shared memory."""
         mv = self._data_mv
-        if end <= ring_bytes:
-            mv[start:end] = blob
-        else:
-            first = ring_bytes - start
-            mv[start:ring_bytes] = blob[:first]
-            mv[: end - ring_bytes] = blob[first:]
+        ring_bytes = self._ring_bytes
+        pos = slot * 8
+        for part in parts:
+            n = len(part)
+            end = pos + n
+            if end <= ring_bytes:
+                mv[pos:end] = part
+                pos = 0 if end == ring_bytes else end
+            else:
+                first = ring_bytes - pos
+                with memoryview(part) as pmv:
+                    mv[pos:ring_bytes] = pmv[:first]
+                    mv[: n - first] = pmv[first:]
+                pos = n - first
 
     def _read_slots(self, slot: int, nbytes: int) -> np.ndarray:
         start = slot * 8
@@ -280,3 +344,45 @@ class Fifo:
             f"<Fifo k={self.k} used={self.used_slots}/{self.size} "
             f"{'active' if self.active else 'inactive'}>"
         )
+
+
+class BufferPool:
+    """A small per-node freelist of reusable staging buffers.
+
+    The real module recycles sk_buff staging memory rather than
+    allocating per packet; the analogue here is the waiting-list path:
+    when the outgoing FIFO is full, a scatter-gather entry must be
+    joined into one durable buffer until space frees up.  Those staging
+    buffers come from (and return to) this pool, so a backpressure
+    burst does not allocate per parked packet.
+
+    ``acquire(n)`` returns a ``bytearray`` of at least ``n`` bytes
+    (callers track the logical length, e.g. via ``memoryview(buf)[:n]``);
+    ``release(buf)`` returns it for reuse.  Oversized buffers and
+    overflow beyond ``max_buffers`` are dropped for the GC.
+    """
+
+    __slots__ = ("_buffers", "max_buffers", "max_buffer_bytes")
+
+    def __init__(self, max_buffers: int = 32, max_buffer_bytes: int = 1 << 16):
+        self._buffers: list[bytearray] = []
+        self.max_buffers = max_buffers
+        self.max_buffer_bytes = max_buffer_bytes
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def acquire(self, nbytes: int) -> bytearray:
+        """Get a buffer of at least ``nbytes`` (pooled if one fits)."""
+        buffers = self._buffers
+        for i in range(len(buffers) - 1, -1, -1):
+            if len(buffers[i]) >= nbytes:
+                WIRE_STATS.pool_hits += 1
+                return buffers.pop(i)
+        WIRE_STATS.pool_misses += 1
+        return bytearray(nbytes)
+
+    def release(self, buf: bytearray) -> None:
+        """Return a buffer to the pool (dropped if full or oversized)."""
+        if len(buf) <= self.max_buffer_bytes and len(self._buffers) < self.max_buffers:
+            self._buffers.append(buf)

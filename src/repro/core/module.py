@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.channel import Channel, ChannelState
+from repro.core.fifo import BufferPool
 from repro.core.protocol import (
     Announce,
     ChannelAck,
@@ -73,6 +74,9 @@ class XenLoopModule:
         self.mapping: dict[MacAddr, int] = {}
         self.channels: dict[MacAddr, Channel] = {}
         self._saved_packets: list[bytes] = []
+        #: per-node staging buffers shared by all this guest's channels
+        #: (waiting-list joins of scatter-gather entries; see BufferPool).
+        self.staging_pool = BufferPool()
 
         # Statistics.
         self.pkts_via_channel = 0

@@ -277,9 +277,14 @@ class SocketBypassModule(XenLoopModule):
 
     # -- frame plumbing --------------------------------------------------
     def send_stream_frame(self, channel: Channel, stream_id: int, kind: int, port: int, payload: bytes):
-        """Push one stream frame onto the channel (generator)."""
-        frame = _FRAME.pack(stream_id, kind, port) + payload
-        taken = yield from channel.send_entry(ENTRY_STREAM, frame)
+        """Push one stream frame onto the channel (generator).
+
+        Scatter-gather: the frame header and the payload chunk go into
+        the FIFO as two views -- the application bytes are copied once,
+        straight into the ring."""
+        taken = yield from channel.send_entry_parts(
+            ENTRY_STREAM, (_FRAME.pack(stream_id, kind, port), payload)
+        )
         return taken
 
     def _attach_stream_handler(self, channel: Channel) -> None:

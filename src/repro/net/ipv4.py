@@ -11,7 +11,6 @@ netfront path (paper Fig. 4).
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.net.addr import IPv4Addr
@@ -76,8 +75,8 @@ class Reassembler:
         del self._buffers[key]
         self.completed += 1
         body = b"".join(buf.chunks[off] for off in sorted(buf.chunks))
-        hdr = replace(ip, frag_offset=0, more_frags=False,
-                      total_length=IPv4Header.HEADER_LEN + len(body))
+        hdr = ip.replaced(frag_offset=0, more_frags=False,
+                          total_length=IPv4Header.HEADER_LEN + len(body))
         self._purge()
         return Packet.from_l3_bytes(hdr.to_bytes() + body)
 
@@ -184,7 +183,7 @@ class Ipv4Layer:
         while offset < len(body):
             chunk = body[offset : offset + step]
             more = offset + len(chunk) < len(body)
-            fhdr = replace(hdr, frag_offset=offset, more_frags=more)
+            fhdr = hdr.replaced(frag_offset=offset, more_frags=more)
             frag = Packet(payload=chunk, ip=fhdr)
             frag.ip.total_length = frag.l3_len
             frag.eth = EthHeader(dst=dst_mac, src=dev.mac, ethertype=ETH_P_IP)

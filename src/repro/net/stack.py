@@ -89,6 +89,11 @@ class NetworkStack:
         self._backlog = Store(node.sim)
         self.rx_frames = 0
         self.rx_dropped = 0
+        # Hot-path singletons: layer-3 injection (the XenLoop receive
+        # path) reuses one pseudo-source, and the softirq trace stage is
+        # formatted once, not per frame.
+        self._inject_sources: dict[str, _InjectSource] = {}
+        self._softirq_stage = f"softirq@{node.name}"
         node.spawn(self._softirq_loop(), name="softirq")
 
     # -- device management -------------------------------------------------
@@ -109,8 +114,16 @@ class NetworkStack:
         self._backlog.put((packet, dev))
 
     def rx_network(self, packet: Packet, source_name: str = "xenloop") -> None:
-        """Inject a packet directly at the network layer (no eth header)."""
-        self._backlog.put((packet, _InjectSource(source_name)))
+        """Inject a packet directly at the network layer (no eth header).
+
+        The injected packet is typically lazily parsed (fresh off the
+        FIFO): the softirq queues and charges it by size alone; the body
+        first materializes at L4 dispatch.
+        """
+        source = self._inject_sources.get(source_name)
+        if source is None:
+            source = self._inject_sources[source_name] = _InjectSource(source_name)
+        self._backlog.put((packet, source))
 
     @property
     def backlog_depth(self) -> int:
@@ -137,9 +150,10 @@ class NetworkStack:
                 burst.append(item)
             self.rx_frames += len(burst)
             now = node.sim.now
+            stage = self._softirq_stage
             cost = 0.0
             for packet, dev in burst:
-                trace.mark(packet, f"softirq@{node.name}", now)
+                trace.mark(packet, stage, now)
                 cost += dev.rx_cost(packet)
             if cost:
                 yield node.exec(cost)

@@ -83,7 +83,24 @@ def format_engine_stats(stats: Mapping[str, float]) -> str:
         parts.append(f"wall={stats['wall_s']:.3f}s")
     if "events_per_sec" in stats:
         parts.append(f"rate={stats['events_per_sec']:,.0f} events/s")
-    return "engine: " + "  ".join(parts)
+    lines = ["engine: " + "  ".join(parts)]
+    ser = stats.get("serialization")
+    if ser is not None:
+        hits = ser["l3_cache_hits"]
+        misses = ser["l3_cache_misses"]
+        total = hits + misses
+        rate = 100.0 * hits / total if total else 0.0
+        lines.append(
+            "serialization: "
+            f"l3_cache={hits:,}/{total:,} hits ({rate:.1f}%)  "
+            f"hdr_cache={ser['header_cache_hits']:,}/"
+            f"{ser['header_cache_hits'] + ser['header_cache_misses']:,}  "
+            f"lazy_l4={ser['lazy_l4_parses']:,}  "
+            f"packed={ser['bytes_packed']:,}B  parsed={ser['bytes_parsed']:,}B  "
+            f"fifo_in={ser['fifo_bytes_in']:,}B  fifo_out={ser['fifo_bytes_out']:,}B  "
+            f"pool={ser['pool_hits']:,}/{ser['pool_hits'] + ser['pool_misses']:,}"
+        )
+    return "\n".join(lines)
 
 
 def ratio(a: float, b: float) -> float:

@@ -499,19 +499,22 @@ class Simulator:
             return
         if until < self.now:
             raise SimulationError(f"until={until} is in the past (now={self.now})")
+        heappush = heapq.heappush
         try:
+            # Pop-then-restore: popping directly and putting the entry
+            # back on the (at most one) break beats peeking every
+            # iteration on the hot path.
             while ready or queue:
-                # Peek the global head exactly once per iteration.
                 if ready and (not queue or ready[0] < queue[0]):
-                    entry = ready[0]
+                    entry = ready.popleft()
                     if entry[0] > until:
+                        ready.appendleft(entry)
                         break
-                    ready.popleft()
                 else:
-                    entry = queue[0]
+                    entry = heappop(queue)
                     if entry[0] > until:
+                        heappush(queue, entry)
                         break
-                    heappop(queue)
                 self.now = entry[0]
                 count += 1
                 entry[2]._process()
@@ -526,23 +529,26 @@ class Simulator:
         :class:`SimulationError` if the calendar empties (or ``timeout``
         simulated seconds elapse) before it finishes.
         """
-        deadline = None if timeout is None else self.now + timeout
+        deadline = _INF if timeout is None else self.now + timeout
         ready = self._ready
         queue = self._queue
         heappop = heapq.heappop
         count = 0
         try:
+            # Same pop-then-restore structure as run(): the deadline is
+            # exceeded at most once, so the restore branch never runs on
+            # the hot path.
             while process._state == PENDING:
                 if ready and (not queue or ready[0] < queue[0]):
-                    entry = ready[0]
-                    if deadline is not None and entry[0] > deadline:
+                    entry = ready.popleft()
+                    if entry[0] > deadline:
+                        ready.appendleft(entry)
                         raise SimulationError(f"timeout waiting for {process.name}")
-                    ready.popleft()
                 elif queue:
-                    entry = queue[0]
-                    if deadline is not None and entry[0] > deadline:
+                    entry = heappop(queue)
+                    if entry[0] > deadline:
+                        heapq.heappush(queue, entry)
                         raise SimulationError(f"timeout waiting for {process.name}")
-                    heappop(queue)
                 else:
                     raise SimulationError(f"deadlock: {process.name} never finished")
                 self.now = entry[0]

@@ -201,11 +201,25 @@ class CPUCores:
         if cost < 0:
             raise ValueError(f"negative work cost: {cost}")
         done = Event(self.sim, name="cpu")
-        core = self._pick_core(domain) if self._may_run(domain) else None
-        if core is not None:
-            self._start(core, domain, cost, done)
-        else:
-            self._queue.append((domain, cost, done))
+        # Inlined _may_run/_pick_core (this is the hottest call site in
+        # the whole simulation); selection order matches _pick_core
+        # exactly: prefer a free core that last ran this domain, else the
+        # first free core.
+        limit = self._vcpu_limit.get(domain)
+        if limit is None or self._running.get(domain, 0) < limit:
+            best = None
+            for core in self.cores:
+                if core.busy:
+                    continue
+                if core.last_domain == domain:
+                    best = core
+                    break
+                if best is None:
+                    best = core
+            if best is not None:
+                self._start(best, domain, cost, done)
+                return done
+        self._queue.append((domain, cost, done))
         return done
 
     def execute_batch(self, domain: Hashable, costs) -> Event:
@@ -257,13 +271,26 @@ class CPUCores:
     def _complete(self, core: _Core, domain: Hashable, done: Event) -> None:
         core.busy = False
         self._running[domain] -= 1
-        # Admit the first queued segment whose domain is under its limit.
+        # Admit the first queued segment whose domain is under its limit
+        # (_may_run/_pick_core inlined: with 1-vCPU guests the queue is
+        # rarely empty here, making this the second-hottest CPU path).
         queue = self._queue
         if queue:
+            vcpu_limit = self._vcpu_limit
+            running = self._running
             for i, (qdomain, cost, ev) in enumerate(queue):
-                if self._may_run(qdomain):
+                limit = vcpu_limit.get(qdomain)
+                if limit is None or running.get(qdomain, 0) < limit:
                     del queue[i]
-                    chosen = self._pick_core(qdomain) or core
-                    self._start(chosen, qdomain, cost, ev)
+                    chosen = None
+                    for c in self.cores:
+                        if c.busy:
+                            continue
+                        if c.last_domain == qdomain:
+                            chosen = c
+                            break
+                        if chosen is None:
+                            chosen = c
+                    self._start(chosen or core, qdomain, cost, ev)
                     break
         done.succeed()

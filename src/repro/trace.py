@@ -90,11 +90,19 @@ def engine_stats(sim, wall_s: Optional[float] = None) -> dict:
     number tracked by ``benchmarks/bench_engine_throughput.py`` (see
     :attr:`repro.sim.engine.Simulator.event_count` for what counts as an
     event).
+
+    The ``serialization`` sub-dict holds the wire-format cache and
+    bytes-copied counters from :data:`repro.net.packet.WIRE_STATS`.
+    Those are process-global (reset with ``WIRE_STATS.reset()`` before a
+    measured run), not per-simulator.
     """
+    from repro.net.packet import WIRE_STATS
+
     stats = {"events": sim.event_count, "sim_time": sim.now}
     if wall_s is not None:
         stats["wall_s"] = wall_s
         stats["events_per_sec"] = sim.event_count / wall_s if wall_s > 0 else 0.0
+    stats["serialization"] = WIRE_STATS.snapshot()
     return stats
 
 

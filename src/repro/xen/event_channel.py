@@ -32,6 +32,26 @@ class EventChannelError(Exception):
     """Invalid event-channel operation."""
 
 
+class _Delivery:
+    """Calendar entry for one in-flight virq delivery.
+
+    Replaces the Timeout-plus-callback-lambda pair with a single slotted
+    record: scheduling consumes one sequence number exactly like the
+    Timeout it replaces, so event ordering (and thus determinism) is
+    unchanged while the per-notify allocations drop from an Event, a
+    callbacks list, and a closure to one small record.
+    """
+
+    __slots__ = ("subsys", "peer")
+
+    def __init__(self, subsys: "EventChannelSubsys", peer: "Port"):
+        self.subsys = subsys
+        self.peer = peer
+
+    def _process(self) -> None:
+        self.subsys._deliver(self.peer)
+
+
 class Port:
     """One endpoint of an (eventual) interdomain channel."""
 
@@ -156,8 +176,7 @@ class EventChannelSubsys:
         jitter = self.costs.virq_jitter
         if jitter > 0:
             latency *= 1 + jitter * (float(self.sim.rng.random()) - 0.5)
-        timer = self.sim.timeout(latency)
-        timer.callbacks.append(lambda _ev: self._deliver(peer))
+        self.sim._schedule(_Delivery(self, peer), latency)
 
     def _deliver(self, peer: Port) -> None:
         if peer.closed:

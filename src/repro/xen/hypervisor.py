@@ -21,6 +21,52 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["Hypervisor"]
 
 
+class _Noop:
+    """Calendar entry that does nothing (sequence-number placeholder)."""
+
+    __slots__ = ()
+
+    def _process(self) -> None:
+        pass
+
+
+_NOOP = _Noop()
+
+
+class _Upcall:
+    """Calendar entry emulating the old per-upcall generator process.
+
+    The generator version consumed four sequence numbers per upcall:
+    the spawn resume, the CPU-segment completion schedule, the CPU
+    done-event bounce, and the finished process's own bounce.  This
+    record consumes the same four at the same instants -- so the engine's
+    event stream is unchanged -- while dropping the generator frame, the
+    Process event, and two generator resumes per virq.
+    """
+
+    __slots__ = ("domain", "cost", "fn")
+
+    def __init__(self, domain: "Domain", cost: float, fn: Callable[[], None]):
+        self.domain = domain
+        self.cost = cost
+        self.fn = fn
+
+    def _process(self) -> None:
+        # Spawn-resume fired: charge the CPU segment (schedules the
+        # completion now; its done event bounces when the segment ends).
+        done = self.domain.exec(self.cost)
+        done.callbacks.append(self._finish)
+
+    def _finish(self, ev) -> None:
+        self.fn()
+        # The generator version's process event fired (with no waiters)
+        # right after the handler ran; keep that placeholder entry so
+        # sequence numbering stays identical.
+        sim = ev.sim
+        sim._seq += 1
+        sim._ready.append((sim.now, sim._seq, _NOOP))
+
+
 class Hypervisor:
     """Per-machine grant tables, event channels, and domid space."""
     def __init__(self, sim: Simulator, costs: CostModel):
@@ -56,9 +102,6 @@ class Hypervisor:
         domain = self.domains.get(domid)
         if domain is None or not domain.alive:
             return  # domain died while the upcall was in flight
-
-        def _upcall():
-            yield domain.exec(cost)
-            fn()
-
-        domain.spawn(_upcall(), name="virq")
+        sim = self.sim
+        sim._seq += 1
+        sim._ready.append((sim.now, sim._seq, _Upcall(domain, cost, fn)))

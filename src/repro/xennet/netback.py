@@ -60,7 +60,8 @@ class Netback:
         self.port = VifBridgePort(self)
         self.detached = False
 
-        self._kick = dom0.sim.event(name=f"{self.vif_name}-kick")
+        self._kick_name = f"{self.vif_name}-kick"
+        self._kick = dom0.sim.event(name=self._kick_name)
         self._worker = dom0.spawn(self._tx_drain_loop(), name=f"{self.vif_name}-netback")
         self.tx_packets = 0
         self.rx_packets = 0
@@ -88,7 +89,7 @@ class Netback:
             if self.detached:
                 return
             if not self.tx_ring.has_requests:
-                self._kick = dom0.sim.event(name=f"{self.vif_name}-kick")
+                self._kick = dom0.sim.event(name=self._kick_name)
                 yield self._kick
                 # Credit-scheduler delay before Dom0's worker actually runs.
                 yield dom0.sim.timeout(costs.dom0_wakeup_latency)
@@ -96,16 +97,20 @@ class Netback:
             # Drain a burst of requests and charge ONE aggregated CPU
             # segment for the per-packet map/copy/unmap hypercall work
             # plus the completion notifies (same total cost as charging
-            # each packet separately -- copy_cost is linear).
+            # each packet separately -- copy_cost is linear).  Note the
+            # cost terms only need the frame *size*: netback forwards on
+            # lengths and addresses alone and never touches the packet
+            # body, so a lazily-parsed packet passes through unparsed.
             burst: list[Packet] = []
             cost = 0.0
             while self.tx_ring.has_requests and len(burst) < self.TX_BURST:
                 packet: Packet = self.tx_ring.pop_request()
-                npages = pages_for(packet.wire_len)
+                size = packet.wire_len
+                npages = pages_for(size)
                 cost += (
                     costs.hypercall
                     + costs.grant_map_page * npages
-                    + costs.copy_cost(packet.wire_len)
+                    + costs.copy_cost(size)
                     + costs.netback_per_packet
                     + costs.hypercall
                     + costs.grant_unmap_page * npages

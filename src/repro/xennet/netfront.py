@@ -19,7 +19,6 @@ packets are re-submitted through the new ring.
 
 from __future__ import annotations
 
-import math
 from collections import deque
 from typing import TYPE_CHECKING, Optional
 
@@ -37,8 +36,14 @@ __all__ = ["Netfront", "VifDevice"]
 
 
 def pages_for(nbytes: int) -> int:
-    """Number of 4 KiB pages a buffer of ``nbytes`` spans."""
-    return max(1, math.ceil(nbytes / PAGE_SIZE))
+    """Number of 4 KiB pages a buffer of ``nbytes`` spans.
+
+    Integer ceiling division: this sits on the per-packet cost path
+    (netfront tx_cost, netback map/copy), so no float round-trip.
+    """
+    if nbytes <= 0:
+        return 1
+    return -(-nbytes // PAGE_SIZE)
 
 
 class VifDevice(NetDevice):

@@ -25,6 +25,17 @@ class RingFullError(Exception):
 
 class SlottedRing:
     """Request/response ring; slots held until responses are consumed."""
+
+    __slots__ = (
+        "sim",
+        "size",
+        "_requests",
+        "_responses",
+        "outstanding",
+        "_space_waiters",
+        "total_requests",
+    )
+
     def __init__(self, sim: Simulator, size: int):
         if size < 1:
             raise ValueError("ring needs at least one slot")

@@ -10,6 +10,7 @@ the simulation computes, only how fast it computes it.
 """
 
 from repro import scenarios
+from repro.net.packet import WIRE_STATS
 from repro.workloads.netperf import tcp_rr, udp_stream
 
 FAST = scenarios.DEFAULT_COSTS.replace(discovery_period=0.2, bootstrap_timeout=0.01)
@@ -18,6 +19,26 @@ GOLDEN_UDP = {
     # (bytes_received, mbps, messages_sent, drops)
     "xenloop": (1015808, 410.99805937025326, 334, 0),
     "netfront_netback": (1048576, 424.3305163003387, 342, 0),
+}
+
+#: same workload after scenario warmup (XenLoop channel CONNECTED), so
+#: the traffic actually crosses the FIFO data path.
+GOLDEN_UDP_WARM_XENLOOP = (5312512, 2127.3822444065545, 1913, 361)
+
+#: the zero-copy data path's serialization counters for that warm run --
+#: they are part of the deterministic output and must not drift.
+GOLDEN_WIRE_COUNTERS = {
+    "l3_cache_hits": 0,
+    "l3_cache_misses": 1914,
+    "header_cache_hits": 0,
+    "header_cache_misses": 3828,
+    "lazy_l4_parses": 1914,
+    "bytes_packed": 53592,
+    "bytes_parsed": 7850964,
+    "fifo_bytes_in": 7889244,
+    "fifo_bytes_out": 7889244,
+    "pool_hits": 0,
+    "pool_misses": 0,
 }
 
 GOLDEN_TCP_RR = {
@@ -68,3 +89,17 @@ class TestGoldenValues:
 
     def test_udp_stream_repeatable_within_process(self):
         assert _udp("xenloop") == _udp("xenloop")
+
+    def test_udp_stream_warm_xenloop_fifo_path(self):
+        """The FIFO data path's results AND wire counters are golden."""
+        scn = scenarios.build("xenloop", FAST, seed=7)
+        scn.warmup(max_wait=20.0)
+        WIRE_STATS.reset()
+        r = udp_stream(scn, msg_size=4096, duration=0.02)
+        assert (
+            r.bytes_received,
+            r.mbps,
+            r.messages_sent,
+            r.drops,
+        ) == GOLDEN_UDP_WARM_XENLOOP
+        assert WIRE_STATS.snapshot() == GOLDEN_WIRE_COUNTERS

@@ -3,7 +3,9 @@
 Runs the engine-throughput workload (``udp_stream`` on a scenario) under
 cProfile and prints the hottest functions, the view that motivated the
 fast-path work: immediate run queue, allocation-free resume, single-shot
-CPU completions, and batched cost charging.
+CPU completions, and batched cost charging.  A serialization-cost
+breakdown (pack/parse/copy time plus the wire-cache hit rates) follows
+the profile, attributing the packet data path's share of the wall.
 
 Usage::
 
@@ -20,7 +22,50 @@ import pstats
 import time
 
 from repro import scenarios, trace
+from repro.net.packet import WIRE_STATS
 from repro.workloads import netperf
+
+#: (bucket, filename substring, function-name substrings): how profiled
+#: functions map onto the serialization-cost categories.
+_SER_BUCKETS = (
+    ("pack", "net/packet.py", ("to_bytes", "to_l3_bytes", "to_l3_parts", "_ip_header_bytes", "_fill")),
+    ("parse", "net/packet.py", ("from_bytes", "from_l3_bytes", "_parse_body")),
+    ("copy", "core/fifo.py", ("push", "push_vec", "pop", "peek", "peek_view", "_write_stream")),
+)
+
+
+def serialization_breakdown(ps: pstats.Stats, wall: float) -> str:
+    """Aggregate profiled tottime into pack/parse/copy buckets."""
+    totals = {name: 0.0 for name, _, _ in _SER_BUCKETS}
+    for (filename, _lineno, funcname), (_cc, _nc, tottime, _ct, _callers) in ps.stats.items():
+        for bucket, file_part, fn_parts in _SER_BUCKETS:
+            if file_part in filename and any(p in funcname for p in fn_parts):
+                totals[bucket] += tottime
+                break
+    lines = ["serialization cost breakdown:"]
+    total = sum(totals.values())
+    for bucket in totals:
+        share = 100.0 * totals[bucket] / wall if wall else 0.0
+        lines.append(f"  {bucket:>5}: {totals[bucket] * 1e3:8.1f} ms  ({share:4.1f}% of wall)")
+    lines.append(
+        f"  total: {total * 1e3:8.1f} ms  ({100.0 * total / wall if wall else 0.0:4.1f}% of wall)"
+    )
+    snap = WIRE_STATS.snapshot()
+    l3_total = snap["l3_cache_hits"] + snap["l3_cache_misses"]
+    hdr_total = snap["header_cache_hits"] + snap["header_cache_misses"]
+    lines.append(
+        "  wire caches: "
+        f"l3 {snap['l3_cache_hits']:,}/{l3_total:,} hits "
+        f"({100.0 * snap['l3_cache_hits'] / l3_total if l3_total else 0.0:.1f}%), "
+        f"hdr {snap['header_cache_hits']:,}/{hdr_total:,} hits "
+        f"({100.0 * snap['header_cache_hits'] / hdr_total if hdr_total else 0.0:.1f}%), "
+        f"lazy_l4={snap['lazy_l4_parses']:,}"
+    )
+    lines.append(
+        f"  bytes: packed={snap['bytes_packed']:,}  parsed={snap['bytes_parsed']:,}  "
+        f"fifo_in={snap['fifo_bytes_in']:,}  fifo_out={snap['fifo_bytes_out']:,}"
+    )
+    return "\n".join(lines)
 
 
 def main() -> None:
@@ -35,6 +80,7 @@ def main() -> None:
     parser.add_argument("-o", "--output", help="also dump raw pstats to this file")
     args = parser.parse_args()
 
+    WIRE_STATS.reset()
     profiler = cProfile.Profile()
     t0 = time.perf_counter()
     profiler.enable()
@@ -54,6 +100,7 @@ def main() -> None:
     )
     ps = pstats.Stats(profiler)
     ps.sort_stats(args.sort).print_stats(args.limit)
+    print(serialization_breakdown(ps, wall))
     if args.output:
         ps.dump_stats(args.output)
         print(f"raw profile written to {args.output}")
