@@ -30,8 +30,7 @@ def _warm(name: str, **kwargs):
 def cmd_list(_args) -> int:
     """List scenarios and available commands."""
     print("scenarios:")
-    for name in scenarios.SCENARIO_BUILDERS:
-        print(f"  {name}")
+    print(report.scenario_catalog())
     print("\ncommands: list, ping, snapshot, fig11, bypass")
     print("full benchmark harness: pytest benchmarks/ --benchmark-only -s")
     return 0

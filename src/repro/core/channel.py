@@ -1,18 +1,21 @@
-"""The bidirectional inter-VM channel (paper Sect. 3.3).
+"""The bidirectional inter-VM channel -- data plane (paper Sect. 3.3).
 
 Three components: two FIFOs (one per direction, each one descriptor
 page + data pages of shared memory) and one event channel used for
 data-available *and* space-available *and* teardown notifications --
 the 1-bit semantics make all three share a port cleanly.
 
-Bootstrap ("client-server"): the guest with the **smaller** guest-ID is
-the listener; it creates the FIFO pages and the unbound event-channel
-port, grants access to the connector, and sends ``create_channel`` with
-two descriptor-page grant references and the port number.  The
-connector maps the descriptor pages, reads the data-page grant
-references *from* the descriptor pages, maps those too, binds the event
-channel, and replies ``channel_ack``.  The listener resends
-``create_channel`` up to 3 times on timeout before giving up.
+This module is purely the *transport*: allocating/granting/mapping the
+shared pages, copying entries in and out of the FIFOs (send / park /
+flush / drain), and releasing the resources again.  WHO does those
+things WHEN -- the bootstrap handshake, retries, teardown causes,
+migration -- lives in :mod:`repro.core.control`: every channel owns a
+:class:`~repro.core.control.ChannelController` (``self.ctrl``) that
+drives it through the table-driven lifecycle FSM.  The channel never
+changes its own state; it reads ``self.state`` (a view of the FSM) to
+gate the data path and reacts to lifecycle notifications through the
+:class:`~repro.core.control.LifecycleHooks` interface (it starts its
+drain worker on ``channel_connected``).
 
 Data transfer is two copies -- sender memcpy into the FIFO, receiver
 memcpy out -- which the paper selects over page sharing/transfer and
@@ -22,13 +25,13 @@ for the re-run of that design comparison).
 
 from __future__ import annotations
 
-import enum
 from collections import deque
 from typing import TYPE_CHECKING, Optional
 
 from repro import trace
+from repro.core.control import ChannelController, ChannelState, LifecycleHooks
 from repro.core.fifo import Fifo, fifo_pages_for_order
-from repro.core.protocol import ChannelAck, CreateChannel
+from repro.core.protocol import CreateChannel
 from repro.net.packet import Packet
 from repro.xen.grant_table import GrantError
 from repro.xen.page import SharedRegion
@@ -55,17 +58,7 @@ class _ZeroCopySource:
         return 0.0
 
 
-class ChannelState(enum.Enum):
-    """Lifecycle states of one channel endpoint."""
-    INIT = "init"
-    #: connector waiting for create_channel / listener waiting for ack.
-    BOOTSTRAPPING = "bootstrapping"
-    CONNECTED = "connected"
-    CLOSED = "closed"
-    FAILED = "failed"
-
-
-class Channel:
+class Channel(LifecycleHooks):
     """One endpoint's view of the channel with a single co-resident peer."""
 
     def __init__(self, module: "XenLoopModule", peer_domid: int, peer_mac: "MacAddr"):
@@ -78,7 +71,8 @@ class Channel:
         #: receive-side zero-copy variant (ablation; see
         #: :meth:`_drain_one_zero_copy`).  Inherited from the module.
         self.zero_copy_rx = module.zero_copy_rx
-        self.state = ChannelState.INIT
+        #: the control-plane driver; all lifecycle moves go through it.
+        self.ctrl = ChannelController(self, hooks=(self, module))
 
         self.out_fifo: Optional[Fifo] = None
         self.in_fifo: Optional[Fifo] = None
@@ -101,7 +95,6 @@ class Channel:
         #: called as handler(payload_bytes) in drain-worker context.
         self.stream_handler = None
 
-        self._ack_event = None
         self._drain_kick = self.guest.sim.event(name="xl-drain-kick")
         self._drain_worker = None
 
@@ -115,18 +108,44 @@ class Channel:
         #: the module's optional idle-channel reaper).
         self.last_activity = self.guest.sim.now
 
+    @property
+    def state(self) -> ChannelState:
+        """Lifecycle state -- owned by the controller's FSM."""
+        return self.ctrl.fsm.state
+
     # ------------------------------------------------------------------
-    # Bootstrap -- listener side
+    # Control-plane compatibility surface (delegates to the controller)
     # ------------------------------------------------------------------
     def listener_start(self):
-        """Create FIFOs + event channel and run the create/ack handshake
-        (generator, guest context).  Returns True on success."""
+        return self.ctrl.listener_start()
+
+    def connector_complete(self, msg: CreateChannel):
+        return self.ctrl.connector_complete(msg)
+
+    def on_channel_ack(self) -> None:
+        self.ctrl.on_channel_ack()
+
+    def teardown(self):
+        return self.ctrl.teardown()
+
+    # ------------------------------------------------------------------
+    # LifecycleHooks: data-plane reactions to control-plane transitions
+    # ------------------------------------------------------------------
+    def channel_connected(self, channel: "Channel") -> None:
+        self._start_drain_worker()
+
+    # ------------------------------------------------------------------
+    # Transport setup -- listener side (called by the controller)
+    # ------------------------------------------------------------------
+    def create_listener_transport(self):
+        """Allocate and grant the FIFO pages and the unbound event
+        channel (generator, guest context).  Returns the CREATE_CHANNEL
+        message describing them."""
         guest = self.guest
         costs = guest.costs
         k = self.module.fifo_order
         n_data = fifo_pages_for_order(k)
 
-        self.state = ChannelState.BOOTSTRAPPING
         # Allocate and initialize the two FIFOs in our own memory.
         region_out = SharedRegion(guest.domid, 1 + n_data)
         region_in = SharedRegion(guest.domid, 1 + n_data)
@@ -149,38 +168,18 @@ class Channel:
         self.port = evtchn.alloc_unbound(guest.domid, self.peer_domid)
         evtchn.set_handler(self.port, self._on_event)
 
-        msg = CreateChannel(
+        return CreateChannel(
             sender_domid=guest.domid,
             gref_out=desc_grefs[0],
             gref_in=desc_grefs[1],
             evtchn_port=self.port.port,
         )
 
-        # Send create_channel; retry up to 3 times on ack timeout.
-        for _attempt in range(costs.bootstrap_retries):
-            self._ack_event = guest.sim.event(name="xl-ack")
-            yield from self.module.send_control(self.peer_mac, msg)
-            yield guest.sim.any_of([self._ack_event, guest.sim.timeout(costs.bootstrap_timeout)])
-            if self.state == ChannelState.CONNECTED:
-                return True
-            if self.state != ChannelState.BOOTSTRAPPING:
-                break  # torn down while waiting
-        if self.state == ChannelState.BOOTSTRAPPING:
-            yield from self._abort_bootstrap()
-        return False
-
-    def on_channel_ack(self) -> None:
-        """Listener: connector confirmed (softirq context)."""
-        if self.state != ChannelState.BOOTSTRAPPING or not self.is_listener:
-            return
-        self.state = ChannelState.CONNECTED
-        self._start_drain_worker()
-        if self._ack_event is not None and not self._ack_event.triggered:
-            self._ack_event.succeed()
-
-    def _abort_bootstrap(self):
+    def discard_listener_transport(self) -> None:
+        """Release a never-connected listener transport (bootstrap
+        abort): close the port, revoke the grants, free the regions.
+        Synchronous; the controller charges the grant-update cost."""
         guest = self.guest
-        self.state = ChannelState.FAILED
         if self.port is not None:
             guest.machine.hypervisor.evtchn.close(self.port)
             self.port = None
@@ -190,60 +189,40 @@ class Channel:
             guest.grant_table.revoke_all_for(self.peer_domid, force=True)
         self._granted_regions = []
         self.out_fifo = self.in_fifo = None
-        self.module.channel_closed(self)
-        yield guest.exec(guest.costs.grant_entry_update)
 
     # ------------------------------------------------------------------
-    # Bootstrap -- connector side
+    # Transport setup -- connector side (called by the controller)
     # ------------------------------------------------------------------
-    def connector_complete(self, msg: CreateChannel):
-        """Map the listener's FIFOs and bind the event channel (generator,
-        guest context).  Returns True on success."""
+    def map_connector_transport(self, peer_table, msg: CreateChannel):
+        """Map the listener's FIFO pages and bind the event channel
+        (generator, guest context).  Raises on any mapping/bind failure;
+        the controller disengages and records MAP_FAILED."""
         guest = self.guest
         costs = guest.costs
-        if self.state not in (ChannelState.INIT, ChannelState.BOOTSTRAPPING):
-            return False
-        self.state = ChannelState.BOOTSTRAPPING
-        peer_table = guest.machine.hypervisor.grant_tables.get(self.peer_domid)
-        if peer_table is None:
-            self.state = ChannelState.FAILED
-            self.module.channel_closed(self)
-            return False
+        # Map the two descriptor pages.
+        yield guest.exec(costs.hypercall + 2 * costs.grant_map_page)
+        desc_out_page = peer_table.map_grant(msg.gref_out, guest.domid)
+        desc_in_page = peer_table.map_grant(msg.gref_in, guest.domid)
+        self._mapped_grefs += [msg.gref_out, msg.gref_in]
 
-        try:
-            # Map the two descriptor pages.
-            yield guest.exec(costs.hypercall + 2 * costs.grant_map_page)
-            desc_out_page = peer_table.map_grant(msg.gref_out, guest.domid)
-            desc_in_page = peer_table.map_grant(msg.gref_in, guest.domid)
-            self._mapped_grefs += [msg.gref_out, msg.gref_in]
+        # The listener's "out" FIFO is our "in" FIFO and vice versa.
+        fifo_in = Fifo(desc_out_page.region)
+        fifo_out = Fifo(desc_in_page.region)
 
-            # The listener's "out" FIFO is our "in" FIFO and vice versa.
-            fifo_in = Fifo(desc_out_page.region)
-            fifo_out = Fifo(desc_in_page.region)
+        # Map the data pages named inside each descriptor page.
+        for fifo in (fifo_in, fifo_out):
+            grefs = fifo.load_grefs()
+            yield guest.exec(costs.hypercall + len(grefs) * costs.grant_map_page)
+            for gref in grefs:
+                peer_table.map_grant(gref, guest.domid)
+                self._mapped_grefs.append(gref)
 
-            # Map the data pages named inside each descriptor page.
-            for fifo in (fifo_in, fifo_out):
-                grefs = fifo.load_grefs()
-                yield guest.exec(costs.hypercall + len(grefs) * costs.grant_map_page)
-                for gref in grefs:
-                    peer_table.map_grant(gref, guest.domid)
-                    self._mapped_grefs.append(gref)
-
-            evtchn = guest.machine.hypervisor.evtchn
-            self.port = evtchn.bind_interdomain(guest.domid, self.peer_domid, msg.evtchn_port)
-            evtchn.set_handler(self.port, self._on_event)
-        except Exception:  # noqa: BLE001 - any mapping/bind failure aborts cleanly
-            yield from self._disengage(notify_peer=False)
-            self.state = ChannelState.FAILED
-            self.module.channel_closed(self)
-            return False
+        evtchn = guest.machine.hypervisor.evtchn
+        self.port = evtchn.bind_interdomain(guest.domid, self.peer_domid, msg.evtchn_port)
+        evtchn.set_handler(self.port, self._on_event)
 
         self.in_fifo = fifo_in
         self.out_fifo = fifo_out
-        self.state = ChannelState.CONNECTED
-        self._start_drain_worker()
-        yield from self.module.send_control(self.peer_mac, ChannelAck(guest.domid))
-        return True
 
     # ------------------------------------------------------------------
     # Data transfer
@@ -420,7 +399,7 @@ class Channel:
     def _drain_loop(self):
         guest = self.guest
         costs = guest.costs
-        while self.state == ChannelState.CONNECTED:
+        while self.state is ChannelState.CONNECTED:
             drained = 0
             while True:
                 if self.zero_copy_rx:
@@ -469,7 +448,7 @@ class Channel:
                 yield from self._flush_waiting()
             # Teardown initiated by the peer?
             if not self.in_fifo.active or not self.out_fifo.active:
-                yield from self._peer_initiated_teardown()
+                yield from self.ctrl.peer_fin()
                 return
             self._drain_kick = guest.sim.event(name="xl-drain-kick")
             yield self._drain_kick
@@ -507,53 +486,12 @@ class Channel:
         return True
 
     # ------------------------------------------------------------------
-    # Teardown (paper Sect. 3.3, "Channel teardown")
+    # Teardown resource actions (called by the controller)
     # ------------------------------------------------------------------
-    def teardown(self):
-        """Locally-initiated teardown (generator, guest context).
-
-        Marks the FIFOs inactive in the shared descriptor pages, notifies
-        the peer, drains pending incoming packets, and disengages.
-        Returns the list of serialized L3 packets from the waiting list
-        so the caller (module) can resend them via the standard path.
-        (ENTRY_STREAM entries cannot be resent -- the bypass endpoints
-        are notified of the channel's death instead.)
-        """
-        if self.state != ChannelState.CONNECTED:
-            self.state = ChannelState.CLOSED
-            self.module.channel_closed(self)
-            return []
-        guest = self.guest
-        costs = guest.costs
-        self.state = ChannelState.CLOSED
-
-        self.out_fifo.mark_inactive()
-        self.in_fifo.mark_inactive()
-        yield guest.exec(costs.evtchn_send)
-        guest.machine.hypervisor.evtchn.notify(self.port)
-
-        # Receive anything still pending in our incoming FIFO.
-        yield from self._drain_remaining()
-        saved = self._take_saved_packets()
-        yield from self._disengage(notify_peer=False)
-        self.module.channel_closed(self)
-        self._notify_stream_death()
-        return saved
-
-    def _peer_initiated_teardown(self):
-        """The peer marked the channel inactive; disengage our side."""
-        guest = self.guest
-        self.state = ChannelState.CLOSED
-        yield from self._drain_remaining()
-        saved = self._take_saved_packets()
-        yield from self._disengage(notify_peer=True)
-        self.module.channel_closed(self)
-        self._notify_stream_death()
-        # Anything we had queued goes back out via the standard path.
-        for data in saved:
-            self.module.resend_via_standard_path(data)
-
-    def _take_saved_packets(self) -> list[bytes]:
+    def take_saved_packets(self) -> list[bytes]:
+        """Flush the waiting list into a resendable snapshot: ENTRY_IPV4
+        wire images survive (the module resends them via netfront);
+        ENTRY_STREAM frames cannot be resent and are dropped."""
         saved = []
         pool = self.module.staging_pool
         for msg_type, data, buf in self.waiting_list:
@@ -569,11 +507,13 @@ class Channel:
         self._wake_waiting_space()
         return saved
 
-    def _notify_stream_death(self) -> None:
+    def notify_stream_death(self) -> None:
         if self.stream_handler is not None:
             self.stream_handler(None)  # None signals "channel gone"
 
-    def _drain_remaining(self):
+    def drain_remaining(self):
+        """Receive whatever is still pending in the incoming FIFO
+        (generator; teardown path)."""
         guest = self.guest
         costs = guest.costs
         while self.in_fifo is not None:
@@ -588,7 +528,7 @@ class Channel:
                 self.pkts_received += 1
                 guest.stack.rx_network(packet)
 
-    def _disengage(self, notify_peer: bool):
+    def disengage(self, notify_peer: bool):
         """Unmap/revoke shared memory and close our event-channel port.
 
         The steps are "slightly asymmetrical depending upon whether

@@ -1,0 +1,572 @@
+"""The XenLoop control plane (paper Sect. 3.2 and 3.4).
+
+The paper describes two distinct concerns: the *control protocol* --
+soft-state discovery, the bootstrap handshake (connect request /
+create_channel / channel_ack with retries), teardown, and the migration
+response -- and the *data channel* (the two shared-memory FIFOs plus
+the event channel, Sect. 3.3).  This module is the control side,
+extracted so that :mod:`repro.core.channel` is purely the FIFO
+transport:
+
+* :class:`ChannelEvent` / :data:`TRANSITIONS` / :class:`ChannelFSM` --
+  a typed, table-driven finite state machine over
+  :class:`~repro.core.channel.ChannelState`.  Every lifecycle move a
+  channel endpoint can make is one ``(state, event) -> state`` row;
+  anything absent from the table is explicitly ignored (e.g. an
+  out-of-order ``CREATE_ACK`` arriving after teardown).
+* :class:`LifecycleHooks` -- the shared observer interface.  The
+  module implements it for mapping-table bookkeeping (and the
+  socket-bypass subclass for stream-handler attachment), the channel
+  implements it for data-plane reactions (start the drain worker on
+  connect), and the Dom0 discovery module implements it to maintain
+  its roster of advertising guests.
+* :class:`ChannelController` -- the per-channel state machine driver:
+  the listener/connector handshake generators, retry/abort logic, and
+  teardown sequencing.  It calls into the channel only for transport
+  actions (allocate/map/disengage/drain); the channel never decides
+  lifecycle on its own.
+* :class:`ControlPlane` -- the per-guest orchestrator extracted from
+  :class:`~repro.core.module.XenLoopModule`: the [guest-ID, MAC]
+  mapping table, control-frame dispatch, bootstrap initiation, the
+  idle-channel reaper, and the migration/shutdown/unload responses.
+
+Determinism note: the FSM itself is pure bookkeeping (no simulated
+time, no event-calendar entries), so driving the existing handshake
+and teardown generators through it preserves the exact event order the
+PR 1/2 golden tests pin.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.protocol import (
+    Announce,
+    ChannelAck,
+    ConnectRequest,
+    CreateChannel,
+    parse_message,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.channel import Channel
+    from repro.core.module import XenLoopModule
+    from repro.net.addr import MacAddr
+
+__all__ = [
+    "ChannelController",
+    "ChannelEvent",
+    "ChannelFSM",
+    "ChannelState",
+    "ControlPlane",
+    "LifecycleHooks",
+    "TRANSITIONS",
+]
+
+
+class ChannelState(enum.Enum):
+    """Lifecycle states of one channel endpoint."""
+    INIT = "init"
+    #: connector waiting for create_channel / listener waiting for ack.
+    BOOTSTRAPPING = "bootstrapping"
+    CONNECTED = "connected"
+    CLOSED = "closed"
+    FAILED = "failed"
+
+
+class ChannelEvent(enum.Enum):
+    """Everything that can happen to a channel endpoint's lifecycle."""
+
+    #: local decision to start bootstrapping (listener allocates, or
+    #: connector sends CONNECT_REQUEST and awaits create_channel).
+    BOOTSTRAP_START = "bootstrap_start"
+    #: peer asked us to act as listener (CONNECT_REQUEST frame).
+    CONNECT_REQ = "connect_req"
+    #: CREATE_CHANNEL frame arrived (connector side maps + binds).
+    CREATE_CHANNEL = "create_channel"
+    #: CHANNEL_ACK frame arrived (listener side completes).
+    CREATE_ACK = "create_ack"
+    #: connector finished mapping/binding and is about to ack.
+    HANDSHAKE_DONE = "handshake_done"
+    #: connector could not map the peer's grants / bind the port.
+    MAP_FAILED = "map_failed"
+    #: listener exhausted its create_channel retries without an ack.
+    ACK_TIMEOUT = "ack_timeout"
+    #: a discovery announcement confirmed the peer (soft-state refresh).
+    ANNOUNCE_SEEN = "announce_seen"
+    #: peer marked the shared FIFOs inactive (its teardown).
+    PEER_FIN = "peer_fin"
+    #: locally initiated teardown (module unload, explicit close).
+    LOCAL_TEARDOWN = "local_teardown"
+    #: announcement no longer lists the peer (died / migrated away /
+    #: unloaded its module): soft-state pruning.
+    PEER_LOST = "peer_lost"
+    #: idle-channel reaper expired the channel (Sect. 3.1).
+    IDLE_EXPIRED = "idle_expired"
+    #: hypervisor pre-migration callback (Sect. 3.4).
+    PRE_MIGRATE = "pre_migrate"
+    #: guest shutdown callback.
+    SHUTDOWN = "shutdown"
+
+
+#: the causes that close a channel from any live state.
+_TEARDOWN_EVENTS = (
+    ChannelEvent.LOCAL_TEARDOWN,
+    ChannelEvent.PEER_LOST,
+    ChannelEvent.IDLE_EXPIRED,
+    ChannelEvent.PRE_MIGRATE,
+    ChannelEvent.SHUTDOWN,
+)
+
+#: the table: ``(state, event) -> new state``.  A missing row means the
+#: event is *ignored* in that state (``ChannelFSM.feed`` returns None) --
+#: e.g. a duplicate CREATE_ACK after the channel is CLOSED, or a
+#: CONNECT_REQ racing an in-flight bootstrap.
+TRANSITIONS: dict[tuple[ChannelState, ChannelEvent], ChannelState] = {
+    # -- INIT: freshly created, no resources yet ------------------------
+    (ChannelState.INIT, ChannelEvent.BOOTSTRAP_START): ChannelState.BOOTSTRAPPING,
+    (ChannelState.INIT, ChannelEvent.CREATE_CHANNEL): ChannelState.BOOTSTRAPPING,
+    (ChannelState.INIT, ChannelEvent.CONNECT_REQ): ChannelState.INIT,
+    (ChannelState.INIT, ChannelEvent.ANNOUNCE_SEEN): ChannelState.INIT,
+    # -- BOOTSTRAPPING: handshake in flight ------------------------------
+    (ChannelState.BOOTSTRAPPING, ChannelEvent.CREATE_ACK): ChannelState.CONNECTED,
+    (ChannelState.BOOTSTRAPPING, ChannelEvent.HANDSHAKE_DONE): ChannelState.CONNECTED,
+    # duplicate create_channel (listener retry): re-enter the connector path.
+    (ChannelState.BOOTSTRAPPING, ChannelEvent.CREATE_CHANNEL): ChannelState.BOOTSTRAPPING,
+    (ChannelState.BOOTSTRAPPING, ChannelEvent.MAP_FAILED): ChannelState.FAILED,
+    (ChannelState.BOOTSTRAPPING, ChannelEvent.ACK_TIMEOUT): ChannelState.FAILED,
+    (ChannelState.BOOTSTRAPPING, ChannelEvent.ANNOUNCE_SEEN): ChannelState.BOOTSTRAPPING,
+    # -- CONNECTED: data path live ---------------------------------------
+    (ChannelState.CONNECTED, ChannelEvent.PEER_FIN): ChannelState.CLOSED,
+    (ChannelState.CONNECTED, ChannelEvent.ANNOUNCE_SEEN): ChannelState.CONNECTED,
+}
+# Teardown causes close the channel from every live state (the quick
+# path of `teardown` handles not-yet-connected channels: a bootstrap
+# can be abandoned by unload/migration before it ever connects), and
+# re-closing a CLOSED or FAILED channel is an idempotent no-op move.
+for _state in (
+    ChannelState.INIT,
+    ChannelState.BOOTSTRAPPING,
+    ChannelState.CONNECTED,
+    ChannelState.CLOSED,
+    ChannelState.FAILED,
+):
+    for _event in _TEARDOWN_EVENTS:
+        TRANSITIONS[(_state, _event)] = ChannelState.CLOSED
+del _state, _event
+
+
+class LifecycleHooks:
+    """Observer interface for control-plane lifecycle notifications.
+
+    Implemented by :class:`~repro.core.module.XenLoopModule` (channel
+    table bookkeeping; the socket-bypass subclass attaches stream
+    handlers in :meth:`channel_created`), by
+    :class:`~repro.core.channel.Channel` (data-plane reactions such as
+    starting the drain worker), and by
+    :class:`~repro.core.discovery.DiscoveryModule` (roster
+    maintenance).  Every method is an intentional no-op here so
+    implementors override only what they care about.
+    """
+
+    def channel_created(self, channel: "Channel") -> None:
+        """A channel object was created and registered in the table."""
+
+    def channel_connected(self, channel: "Channel") -> None:
+        """The handshake completed; the data path is live."""
+
+    def channel_closed(self, channel: "Channel") -> None:
+        """The channel disengaged (any cause) and left the table."""
+
+    def channel_failed(self, channel: "Channel") -> None:
+        """Bootstrap failed (map error or ack timeout)."""
+
+    def peer_discovered(self, mac: "MacAddr", domid: int) -> None:
+        """A discovery announcement introduced a new co-resident peer."""
+
+    def peer_lost(self, mac: "MacAddr") -> None:
+        """A peer stopped being announced (soft-state expiry)."""
+
+
+class ChannelFSM:
+    """Table-driven state holder for one channel endpoint.
+
+    Pure bookkeeping: feeding an event consults :data:`TRANSITIONS`
+    and either moves to the new state (returned) or ignores the event
+    (returns None).  The last few transitions are kept in ``history``
+    for debugging and assertions.
+    """
+
+    __slots__ = ("state", "history")
+
+    def __init__(self, initial: ChannelState = ChannelState.INIT):
+        self.state = initial
+        self.history: deque[tuple[ChannelEvent, ChannelState, ChannelState]] = deque(
+            maxlen=16
+        )
+
+    def feed(self, event: ChannelEvent) -> Optional[ChannelState]:
+        """Apply one event; returns the new state, or None if ignored."""
+        new = TRANSITIONS.get((self.state, event))
+        if new is None:
+            return None
+        self.history.append((event, self.state, new))
+        self.state = new
+        return new
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ChannelFSM {self.state.value}>"
+
+
+class ChannelController:
+    """Drives one channel endpoint's lifecycle (paper Sect. 3.3 control).
+
+    Owns the FSM and the handshake/teardown sequencing; calls into the
+    data-plane :class:`~repro.core.channel.Channel` only for transport
+    actions (allocate, grant, map, drain, disengage).  Lifecycle
+    observers are notified through the shared :class:`LifecycleHooks`
+    interface -- by construction the channel itself and its module.
+    """
+
+    def __init__(self, channel: "Channel", hooks: tuple[LifecycleHooks, ...]):
+        self.channel = channel
+        self.fsm = ChannelFSM()
+        self.hooks = tuple(hooks)
+        self._ack_event = None
+
+    @property
+    def state(self) -> ChannelState:
+        return self.fsm.state
+
+    def _fire(self, hook_name: str) -> None:
+        for hook in self.hooks:
+            getattr(hook, hook_name)(self.channel)
+
+    # ------------------------------------------------------------------
+    # Bootstrap -- listener side (smaller guest-ID, paper Fig. 3)
+    # ------------------------------------------------------------------
+    def listener_start(self):
+        """Create the transport and run the create/ack handshake
+        (generator, guest context).  Returns True on success."""
+        channel = self.channel
+        guest = channel.guest
+        costs = guest.costs
+        self.fsm.feed(ChannelEvent.BOOTSTRAP_START)
+        msg = yield from channel.create_listener_transport()
+
+        # Send create_channel; retry up to 3 times on ack timeout.
+        for _attempt in range(costs.bootstrap_retries):
+            self._ack_event = guest.sim.event(name="xl-ack")
+            yield from channel.module.send_control(channel.peer_mac, msg)
+            yield guest.sim.any_of(
+                [self._ack_event, guest.sim.timeout(costs.bootstrap_timeout)]
+            )
+            if self.fsm.state is ChannelState.CONNECTED:
+                return True
+            if self.fsm.state is not ChannelState.BOOTSTRAPPING:
+                break  # torn down while waiting
+        if self.fsm.state is ChannelState.BOOTSTRAPPING:
+            yield from self._abort_bootstrap()
+        return False
+
+    def on_channel_ack(self) -> None:
+        """Listener: connector confirmed (softirq context)."""
+        if not self.channel.is_listener:
+            return
+        if self.fsm.feed(ChannelEvent.CREATE_ACK) is None:
+            return  # not BOOTSTRAPPING: stale or out-of-order ack
+        self._fire("channel_connected")
+        if self._ack_event is not None and not self._ack_event.triggered:
+            self._ack_event.succeed()
+
+    def _abort_bootstrap(self):
+        channel = self.channel
+        guest = channel.guest
+        self.fsm.feed(ChannelEvent.ACK_TIMEOUT)
+        channel.discard_listener_transport()
+        self._fire("channel_failed")
+        self._fire("channel_closed")
+        yield guest.exec(guest.costs.grant_entry_update)
+
+    # ------------------------------------------------------------------
+    # Bootstrap -- connector side
+    # ------------------------------------------------------------------
+    def connector_complete(self, msg: CreateChannel):
+        """Map the listener's transport and ack (generator, guest
+        context).  Returns True on success."""
+        channel = self.channel
+        guest = channel.guest
+        if self.fsm.feed(ChannelEvent.CREATE_CHANNEL) is None:
+            return False  # already connected / closed / failed
+        peer_table = guest.machine.hypervisor.grant_tables.get(channel.peer_domid)
+        if peer_table is None:
+            self.fsm.feed(ChannelEvent.MAP_FAILED)
+            self._fire("channel_failed")
+            self._fire("channel_closed")
+            return False
+
+        try:
+            yield from channel.map_connector_transport(peer_table, msg)
+        except Exception:  # noqa: BLE001 - any mapping/bind failure aborts cleanly
+            yield from channel.disengage(notify_peer=False)
+            self.fsm.feed(ChannelEvent.MAP_FAILED)
+            self._fire("channel_failed")
+            self._fire("channel_closed")
+            return False
+
+        self.fsm.feed(ChannelEvent.HANDSHAKE_DONE)
+        self._fire("channel_connected")
+        yield from channel.module.send_control(channel.peer_mac, ChannelAck(guest.domid))
+        return True
+
+    # ------------------------------------------------------------------
+    # Teardown (paper Sect. 3.3, "Channel teardown")
+    # ------------------------------------------------------------------
+    def teardown(self, cause: ChannelEvent = ChannelEvent.LOCAL_TEARDOWN):
+        """Locally-initiated teardown (generator, guest context).
+
+        ``cause`` names why (unload, idle expiry, pre-migration,
+        shutdown, peer vanished from announcements) -- they all follow
+        the same close rail in the table, but the FSM history records
+        the distinction.  Returns the serialized L3 packets from the
+        waiting list so the caller can resend them via the standard
+        path.
+        """
+        channel = self.channel
+        guest = channel.guest
+        if self.fsm.state is not ChannelState.CONNECTED:
+            # Nothing on the wire yet (or already closed): just record
+            # the close and drop out of the module's table.
+            self.fsm.feed(cause)
+            self._fire("channel_closed")
+            return []
+        costs = guest.costs
+        self.fsm.feed(cause)
+
+        channel.out_fifo.mark_inactive()
+        channel.in_fifo.mark_inactive()
+        yield guest.exec(costs.evtchn_send)
+        guest.machine.hypervisor.evtchn.notify(channel.port)
+
+        # Receive anything still pending in our incoming FIFO.
+        yield from channel.drain_remaining()
+        saved = channel.take_saved_packets()
+        yield from channel.disengage(notify_peer=False)
+        self._fire("channel_closed")
+        channel.notify_stream_death()
+        return saved
+
+    def peer_fin(self):
+        """The peer marked the channel inactive; disengage our side
+        (generator, drain-worker context)."""
+        channel = self.channel
+        self.fsm.feed(ChannelEvent.PEER_FIN)
+        yield from channel.drain_remaining()
+        saved = channel.take_saved_packets()
+        yield from channel.disengage(notify_peer=True)
+        self._fire("channel_closed")
+        channel.notify_stream_death()
+        # Anything we had queued goes back out via the standard path.
+        for data in saved:
+            channel.module.resend_via_standard_path(data)
+
+
+class ControlPlane:
+    """Per-guest control-plane orchestrator (extracted from the module).
+
+    Owns the [guest-ID, MAC] mapping table and the channel table, and
+    runs everything that is *about* channels rather than *through*
+    them: announcement processing, bootstrap initiation, control-frame
+    dispatch, the idle reaper, and the migration/shutdown responses.
+    The data-plane hook in :class:`~repro.core.module.XenLoopModule`
+    only ever reads these tables.
+    """
+
+    def __init__(self, module: "XenLoopModule"):
+        self.module = module
+        self.guest = module.guest
+        #: MAC -> guest-ID of co-resident XenLoop-willing guests.
+        self.mapping: dict["MacAddr", int] = {}
+        #: MAC -> live Channel endpoint.
+        self.channels: dict["MacAddr", "Channel"] = {}
+        #: packets saved across a migration (resent on the new machine).
+        self.saved_packets: list[bytes] = []
+        self.announcements_seen = 0
+
+    # ------------------------------------------------------------------
+    # Channel table
+    # ------------------------------------------------------------------
+    def _new_channel(self, peer_domid: int, mac: "MacAddr") -> "Channel":
+        from repro.core.channel import Channel
+
+        channel = Channel(self.module, peer_domid, mac)
+        self.channels[mac] = channel
+        self.module.channel_created(channel)
+        return channel
+
+    def channel_closed(self, channel: "Channel") -> None:
+        """Drop a closed channel from the table (LifecycleHooks path)."""
+        current = self.channels.get(channel.peer_mac)
+        if current is channel:
+            del self.channels[channel.peer_mac]
+
+    # ------------------------------------------------------------------
+    # XenStore advertisement (soft-state discovery, Sect. 3.2)
+    # ------------------------------------------------------------------
+    def advertise(self):
+        yield from self.guest.xs_write(
+            f"{self.guest.xs_prefix}/xenloop", str(self.guest.mac)
+        )
+
+    def unadvertise(self):
+        yield from self.guest.xs_rm(f"{self.guest.xs_prefix}/xenloop")
+
+    # ------------------------------------------------------------------
+    # Control-frame input (softirq context)
+    # ------------------------------------------------------------------
+    def control_input(self, packet, dev):
+        guest = self.guest
+        yield guest.exec(guest.costs.xenloop_lookup)
+        if not self.module.loaded:
+            return
+        try:
+            msg = parse_message(packet.payload)
+        except ValueError:
+            return
+        if isinstance(msg, Announce):
+            self.handle_announce(msg)
+        elif isinstance(msg, ConnectRequest):
+            self.handle_connect_request(msg)
+        elif isinstance(msg, CreateChannel):
+            self.handle_create_channel(msg, packet.eth.src)
+        elif isinstance(msg, ChannelAck):
+            channel = self.channels.get(packet.eth.src)
+            if channel is not None:
+                channel.ctrl.on_channel_ack()
+
+    def handle_announce(self, msg: Announce) -> None:
+        self.announcements_seen += 1
+        fresh = {
+            mac: domid
+            for domid, mac in msg.entries
+            if mac != self.guest.mac
+        }
+        # Tear down channels whose peer vanished or changed identity
+        # (migrated away, died, or unloaded its module).
+        for mac, channel in list(self.channels.items()):
+            if fresh.get(mac) == channel.peer_domid:
+                channel.ctrl.fsm.feed(ChannelEvent.ANNOUNCE_SEEN)
+                continue
+            if channel.state in (ChannelState.CONNECTED, ChannelState.BOOTSTRAPPING):
+                self.guest.spawn(
+                    channel.ctrl.teardown(ChannelEvent.PEER_LOST), name="xl-teardown"
+                )
+            else:
+                self.channels.pop(mac, None)
+        # Soft-state diff notifications (pure bookkeeping).
+        for mac in fresh.keys() - self.mapping.keys():
+            self.module.peer_discovered(mac, fresh[mac])
+        for mac in self.mapping.keys() - fresh.keys():
+            self.module.peer_lost(mac)
+        self.mapping = fresh
+
+    def handle_connect_request(self, msg: ConnectRequest) -> None:
+        mac = msg.sender_mac
+        self.mapping.setdefault(mac, msg.sender_domid)
+        if self.guest.domid > msg.sender_domid:
+            return  # misdirected: we are not the smaller ID
+        channel = self.channels.get(mac)
+        if channel is not None and channel.state in (
+            ChannelState.BOOTSTRAPPING,
+            ChannelState.CONNECTED,
+        ):
+            return  # bootstrap already in flight (simultaneous initiation)
+        channel = self._new_channel(msg.sender_domid, mac)
+        channel.ctrl.fsm.feed(ChannelEvent.CONNECT_REQ)
+        self.guest.spawn(channel.ctrl.listener_start(), name="xl-listen")
+
+    def handle_create_channel(self, msg: CreateChannel, src_mac: "MacAddr") -> None:
+        self.mapping.setdefault(src_mac, msg.sender_domid)
+        channel = self.channels.get(src_mac)
+        if channel is None:
+            channel = self._new_channel(msg.sender_domid, src_mac)
+        if channel.state is ChannelState.CONNECTED:
+            return  # duplicate create (listener retry after ack loss)
+        self.guest.spawn(channel.ctrl.connector_complete(msg), name="xl-connect")
+
+    # ------------------------------------------------------------------
+    # Bootstrap initiation (first traffic to a mapped peer, Sect. 3.1)
+    # ------------------------------------------------------------------
+    def initiate_bootstrap(self, mac: "MacAddr", peer_domid: int) -> None:
+        channel = self._new_channel(peer_domid, mac)
+        if channel.is_listener:
+            self.guest.spawn(channel.ctrl.listener_start(), name="xl-listen")
+        else:
+            # We are the connector: ask the (smaller-ID) peer to create.
+            channel.ctrl.fsm.feed(ChannelEvent.BOOTSTRAP_START)
+            self.guest.spawn(
+                self.module.send_control(
+                    mac, ConnectRequest(self.guest.domid, self.guest.mac)
+                ),
+                name="xl-connreq",
+            )
+
+    # ------------------------------------------------------------------
+    # Optional idle-channel reaper ("conserve system resources", 3.1)
+    # ------------------------------------------------------------------
+    def idle_monitor(self):
+        guest = self.guest
+        module = self.module
+        while module.loaded:
+            yield guest.sim.timeout(module.idle_timeout)
+            cutoff = guest.sim.now - module.idle_timeout
+            for channel in list(self.channels.values()):
+                if (
+                    channel.state is ChannelState.CONNECTED
+                    and channel.last_activity < cutoff
+                ):
+                    yield from channel.ctrl.teardown(ChannelEvent.IDLE_EXPIRED)
+
+    # ------------------------------------------------------------------
+    # Lifecycle: unload, shutdown, migration (Sect. 3.3-3.4)
+    # ------------------------------------------------------------------
+    def teardown_all(self, cause: ChannelEvent):
+        """Tear down every channel (generator); yields saved packets
+        per channel to the caller via the returned list."""
+        saved_all: list[bytes] = []
+        for channel in list(self.channels.values()):
+            saved = yield from channel.ctrl.teardown(cause)
+            saved_all.extend(saved)
+        return saved_all
+
+    def shutdown(self):
+        if not self.module.loaded:
+            return
+        self.module.loaded = False
+        yield from self.unadvertise()
+        for channel in list(self.channels.values()):
+            yield from channel.ctrl.teardown(ChannelEvent.SHUTDOWN)
+
+    def pre_migrate(self):
+        """Hypervisor callback before migration: remove the
+        advertisement, save pending packets, tear every channel down."""
+        if not self.module.loaded:
+            return
+        yield from self.unadvertise()
+        self.saved_packets = []
+        for channel in list(self.channels.values()):
+            saved = yield from channel.ctrl.teardown(ChannelEvent.PRE_MIGRATE)
+            self.saved_packets.extend(saved)
+        self.mapping.clear()
+
+    def post_migrate(self):
+        """After resuming on the new machine: re-advertise under the new
+        domid and resend the saved packets via the standard path."""
+        if not self.module.loaded:
+            return
+        yield from self.advertise()
+        saved, self.saved_packets = self.saved_packets, []
+        for data in saved:
+            self.module.resend_via_standard_path(data)

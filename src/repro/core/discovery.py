@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.core.control import LifecycleHooks
 from repro.core.protocol import Announce
 from repro.net.addr import MacAddr
 from repro.net.ethernet import ETH_P_XENLOOP
@@ -28,15 +29,32 @@ __all__ = ["DiscoveryModule"]
 DOM0_MAC = MacAddr("fe:ff:ff:ff:ff:ff")
 
 
-class DiscoveryModule:
-    """Dom0-resident periodic XenStore scanner and announcer."""
+class DiscoveryModule(LifecycleHooks):
+    """Dom0-resident periodic XenStore scanner and announcer.
+
+    Implements :class:`~repro.core.control.LifecycleHooks` for the
+    soft-state roster: each scan diffs the collated [guest-ID, MAC]
+    list against the previous one and reports appearances and
+    disappearances through ``peer_discovered`` / ``peer_lost`` -- the
+    same interface the guest-side control plane uses -- keeping
+    ``roster`` (the currently advertising guests) current.
+    """
     def __init__(self, machine: "XenMachine", period: float | None = None):
         self.machine = machine
         self.period = period if period is not None else machine.costs.discovery_period
         self.running = True
         self.scans = 0
         self.announcements_sent = 0
+        #: MAC -> guest-ID of guests seen advertising in the last scan.
+        self.roster: dict[MacAddr, int] = {}
         machine.dom0.spawn(self._scan_loop(), name="xl-discovery")
+
+    # -- LifecycleHooks (roster bookkeeping) ----------------------------
+    def peer_discovered(self, mac: MacAddr, domid: int) -> None:
+        self.roster[mac] = domid
+
+    def peer_lost(self, mac: MacAddr) -> None:
+        self.roster.pop(mac, None)
 
     def stop(self) -> None:
         """Stop scanning (no further announcements are sent)."""
@@ -78,12 +96,14 @@ class DiscoveryModule:
             yield dom0.exec(costs.xenstore_op)
             entries = self.collate()
             yield dom0.exec(costs.xenstore_op * max(1, len(entries)))
+            self._update_roster(entries)
             if not entries:
                 continue
-            announce_payload = None
+            # One announcement, one serialization: every recipient gets
+            # the identical payload bytes (hoisted out of the loop).
+            msg = Announce(sender_domid=dom0.domid, entries=entries)
+            announce_payload = msg.to_bytes()
             for domid, mac in entries:
-                msg = Announce(sender_domid=dom0.domid, entries=entries)
-                announce_payload = msg.to_bytes()
                 frame = Packet(
                     payload=announce_payload,
                     eth=EthHeader(dst=mac, src=DOM0_MAC, ethertype=ETH_P_XENLOOP),
@@ -91,3 +111,12 @@ class DiscoveryModule:
                 self.announcements_sent += 1
                 # Inject into the bridge; it forwards to the guest's vif.
                 self.machine.bridge.input(None, frame)
+
+    def _update_roster(self, entries: list[tuple[int, MacAddr]]) -> None:
+        fresh = {mac: domid for domid, mac in entries}
+        for mac in fresh.keys() - self.roster.keys():
+            self.peer_discovered(mac, fresh[mac])
+        for mac in self.roster.keys() - fresh.keys():
+            self.peer_lost(mac)
+        # Refresh identities that changed in place (re-created guest).
+        self.roster.update(fresh)

@@ -1,17 +1,27 @@
 """The guest-resident XenLoop module (paper Sect. 3.1).
 
 A self-contained "kernel module": it registers a netfilter hook beneath
-the network layer, keeps the [guest-ID, MAC] mapping table of
-co-resident guests (fed by Dom0 discovery announcements), owns one
-:class:`~repro.core.channel.Channel` per active peer, and handles
-module unload, guest shutdown, and live migration transparently.
+the network layer and splits its work across the two planes the paper
+describes separately:
 
-Per-packet dispatch in the hook (Sect. 3.1): resolve the next hop's MAC
-through the neighbour (ARP) cache; if that MAC belongs to a co-resident
-guest with a connected channel and the packet fits the FIFO, copy it
-onto the channel (STOLEN); otherwise let it continue down the standard
-netfront/netback path (ACCEPT), bootstrapping a channel in the
-background on first traffic.
+* **Data plane** (this file + :mod:`repro.core.channel`): the
+  per-packet dispatch in :meth:`XenLoopModule._post_routing_hook` --
+  resolve the next hop's MAC through the neighbour (ARP) cache; if that
+  MAC belongs to a co-resident guest with a connected channel and the
+  packet fits the FIFO, copy it onto the channel (STOLEN); otherwise
+  let it continue down the standard netfront/netback path (ACCEPT).
+  The hook only ever *reads* the control plane's tables.
+* **Control plane** (:mod:`repro.core.control`): the [guest-ID, MAC]
+  mapping table fed by Dom0 discovery announcements, channel bootstrap
+  and teardown, the idle reaper, and the module-unload / guest-shutdown
+  / live-migration responses.  Owned by ``self.control``, a
+  :class:`~repro.core.control.ControlPlane`; the module exposes
+  read-only views (``mapping``, ``channels``) for the hook and for
+  observers.
+
+The module also implements :class:`~repro.core.control.LifecycleHooks`
+so the control plane can notify it (and subclasses: the socket-bypass
+variant attaches its stream handler in :meth:`channel_created`).
 
 Ordering note: packets taking different paths (channel vs. standard)
 can be reordered relative to each other -- a too-big datagram on the
@@ -25,26 +35,21 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.channel import Channel, ChannelState
+from repro.core.control import ControlPlane, LifecycleHooks
 from repro.core.fifo import BufferPool
-from repro.core.protocol import (
-    Announce,
-    ChannelAck,
-    ConnectRequest,
-    CreateChannel,
-    parse_message,
-)
 from repro.net.addr import MacAddr
 from repro.net.ethernet import ETH_P_IP, ETH_P_XENLOOP
 from repro.net.netfilter import HookPoint, Verdict
 from repro.net.packet import EthHeader, Packet
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.protocol import Announce, ConnectRequest, CreateChannel
     from repro.xen.domain import Domain
 
 __all__ = ["XenLoopModule"]
 
 
-class XenLoopModule:
+class XenLoopModule(LifecycleHooks):
     """The self-contained guest 'kernel module' of the paper."""
     def __init__(
         self,
@@ -70,19 +75,17 @@ class XenLoopModule:
         self.zero_copy_rx = zero_copy_rx
         self.loaded = True
 
-        #: MAC -> guest-ID of co-resident XenLoop-willing guests.
-        self.mapping: dict[MacAddr, int] = {}
-        self.channels: dict[MacAddr, Channel] = {}
-        self._saved_packets: list[bytes] = []
+        #: the control plane: mapping/channel tables, bootstrap,
+        #: teardown, idle reaping, migration response.
+        self.control = ControlPlane(self)
         #: per-node staging buffers shared by all this guest's channels
         #: (waiting-list joins of scatter-gather entries; see BufferPool).
         self.staging_pool = BufferPool()
 
-        # Statistics.
+        # Statistics (data-plane dispatch counters).
         self.pkts_via_channel = 0
         self.pkts_via_standard = 0
         self.pkts_too_big = 0
-        self.announcements_seen = 0
 
         stack = guest.stack
         stack.netfilter.register(HookPoint.POST_ROUTING, self._post_routing_hook)
@@ -96,18 +99,33 @@ class XenLoopModule:
             guest.spawn(self._idle_monitor(), name="xenloop-idle")
 
     # ------------------------------------------------------------------
+    # Read-only views of the control plane's tables
+    # ------------------------------------------------------------------
+    @property
+    def mapping(self) -> dict[MacAddr, int]:
+        """MAC -> guest-ID of co-resident XenLoop-willing guests."""
+        return self.control.mapping
+
+    @property
+    def channels(self) -> dict[MacAddr, Channel]:
+        """MAC -> live channel endpoint."""
+        return self.control.channels
+
+    @property
+    def announcements_seen(self) -> int:
+        return self.control.announcements_seen
+
+    # ------------------------------------------------------------------
     # XenStore advertisement (soft-state discovery, Sect. 3.2)
     # ------------------------------------------------------------------
     def _advertise(self):
-        yield from self.guest.xs_write(
-            f"{self.guest.xs_prefix}/xenloop", str(self.guest.mac)
-        )
+        yield from self.control.advertise()
 
     def _unadvertise(self):
-        yield from self.guest.xs_rm(f"{self.guest.xs_prefix}/xenloop")
+        yield from self.control.unadvertise()
 
     # ------------------------------------------------------------------
-    # The netfilter hook (sender context)
+    # The netfilter hook (sender context) -- the data plane
     # ------------------------------------------------------------------
     def _post_routing_hook(self, packet: Packet, dev):
         guest = self.guest
@@ -125,13 +143,14 @@ class XenLoopModule:
         mac = stack.arp.lookup(next_hop)
         if mac is None:
             return Verdict.ACCEPT  # let the standard path trigger ARP
-        peer_domid = self.mapping.get(mac)
+        control = self.control
+        peer_domid = control.mapping.get(mac)
         if peer_domid is None:
             self.pkts_via_standard += 1
             return Verdict.ACCEPT
-        channel = self.channels.get(mac)
+        channel = control.channels.get(mac)
         if channel is None:
-            self._initiate_bootstrap(mac, peer_domid)
+            control.initiate_bootstrap(mac, peer_domid)
             self.pkts_via_standard += 1
             return Verdict.ACCEPT
         if channel.state is not ChannelState.CONNECTED:
@@ -151,101 +170,37 @@ class XenLoopModule:
         return Verdict.STOLEN
 
     # ------------------------------------------------------------------
-    # Channel bootstrap orchestration
+    # Control-plane delegates (the wire-facing surface stays on the
+    # module: send_control is monkeypatch-friendly, the _handle_*
+    # methods are the documented per-message entry points)
     # ------------------------------------------------------------------
-    def _initiate_bootstrap(self, mac: MacAddr, peer_domid: int) -> None:
-        channel = Channel(self, peer_domid, mac)
-        self.channels[mac] = channel
-        if channel.is_listener:
-            self.guest.spawn(channel.listener_start(), name="xl-listen")
-        else:
-            # We are the connector: ask the (smaller-ID) peer to create.
-            channel.state = ChannelState.BOOTSTRAPPING
-            self.guest.spawn(
-                self.send_control(mac, ConnectRequest(self.guest.domid, self.guest.mac)),
-                name="xl-connreq",
-            )
-
     def send_control(self, dst_mac: MacAddr, msg):
         """Send an out-of-band XenLoop-type control frame via the standard
         netfront path (generator)."""
         vif = self.guest.netfront.vif
         yield from self.guest.stack.link_output(vif, dst_mac, ETH_P_XENLOOP, msg.to_bytes())
 
-    # ------------------------------------------------------------------
-    # Control-plane input (softirq context)
-    # ------------------------------------------------------------------
     def _control_input(self, packet: Packet, dev):
-        guest = self.guest
-        yield guest.exec(guest.costs.xenloop_lookup)
-        if not self.loaded:
-            return
-        try:
-            msg = parse_message(packet.payload)
-        except ValueError:
-            return
-        if isinstance(msg, Announce):
-            self._handle_announce(msg)
-        elif isinstance(msg, ConnectRequest):
-            self._handle_connect_request(msg)
-        elif isinstance(msg, CreateChannel):
-            self._handle_create_channel(msg, packet.eth.src)
-        elif isinstance(msg, ChannelAck):
-            channel = self.channels.get(packet.eth.src)
-            if channel is not None:
-                channel.on_channel_ack()
+        yield from self.control.control_input(packet, dev)
 
-    def _handle_announce(self, msg: Announce) -> None:
-        self.announcements_seen += 1
-        fresh = {
-            mac: domid
-            for domid, mac in msg.entries
-            if mac != self.guest.mac
-        }
-        # Tear down channels whose peer vanished or changed identity
-        # (migrated away, died, or unloaded its module).
-        for mac, channel in list(self.channels.items()):
-            if fresh.get(mac) == channel.peer_domid:
-                continue
-            if channel.state in (ChannelState.CONNECTED, ChannelState.BOOTSTRAPPING):
-                self.guest.spawn(channel.teardown(), name="xl-teardown")
-            else:
-                self.channels.pop(mac, None)
-        self.mapping = fresh
+    def _handle_announce(self, msg: "Announce") -> None:
+        self.control.handle_announce(msg)
 
-    def _handle_connect_request(self, msg: ConnectRequest) -> None:
-        mac = msg.sender_mac
-        self.mapping.setdefault(mac, msg.sender_domid)
-        if self.guest.domid > msg.sender_domid:
-            return  # misdirected: we are not the smaller ID
-        channel = self.channels.get(mac)
-        if channel is not None and channel.state in (
-            ChannelState.BOOTSTRAPPING,
-            ChannelState.CONNECTED,
-        ):
-            return  # bootstrap already in flight (simultaneous initiation)
-        channel = Channel(self, msg.sender_domid, mac)
-        self.channels[mac] = channel
-        self.guest.spawn(channel.listener_start(), name="xl-listen")
+    def _handle_connect_request(self, msg: "ConnectRequest") -> None:
+        self.control.handle_connect_request(msg)
 
-    def _handle_create_channel(self, msg: CreateChannel, src_mac: MacAddr) -> None:
-        self.mapping.setdefault(src_mac, msg.sender_domid)
-        channel = self.channels.get(src_mac)
-        if channel is None:
-            channel = Channel(self, msg.sender_domid, src_mac)
-            self.channels[src_mac] = channel
-        if channel.state is ChannelState.CONNECTED:
-            return  # duplicate create (listener retry after ack loss)
-        self.guest.spawn(channel.connector_complete(msg), name="xl-connect")
+    def _handle_create_channel(self, msg: "CreateChannel", src_mac: MacAddr) -> None:
+        self.control.handle_create_channel(msg, src_mac)
+
+    def _initiate_bootstrap(self, mac: MacAddr, peer_domid: int) -> None:
+        self.control.initiate_bootstrap(mac, peer_domid)
 
     # ------------------------------------------------------------------
-    # Channel bookkeeping
+    # LifecycleHooks (control plane -> module notifications)
     # ------------------------------------------------------------------
     def channel_closed(self, channel: Channel) -> None:
         """Channel callback: drop a closed channel from the table."""
-        current = self.channels.get(channel.peer_mac)
-        if current is channel:
-            del self.channels[channel.peer_mac]
+        self.control.channel_closed(channel)
 
     def resend_via_standard_path(self, l3_bytes: bytes) -> None:
         """Re-send a saved packet over netfront (after teardown/migration)."""
@@ -275,8 +230,8 @@ class XenLoopModule:
         if not self.loaded:
             return
         self.loaded = False
-        yield from self._unadvertise()
-        for channel in list(self.channels.values()):
+        yield from self.control.unadvertise()
+        for channel in list(self.control.channels.values()):
             saved = yield from channel.teardown()
             for data in saved:
                 self.resend_via_standard_path(data)
@@ -293,34 +248,13 @@ class XenLoopModule:
             guest.shutdown_callbacks.remove(self._shutdown)
 
     def _shutdown(self):
-        if not self.loaded:
-            return
-        self.loaded = False
-        yield from self._unadvertise()
-        for channel in list(self.channels.values()):
-            yield from channel.teardown()
+        yield from self.control.shutdown()
 
     def _pre_migrate(self):
-        """Hypervisor callback before migration: remove the advertisement,
-        save pending packets, tear every channel down."""
-        if not self.loaded:
-            return
-        yield from self._unadvertise()
-        self._saved_packets = []
-        for channel in list(self.channels.values()):
-            saved = yield from channel.teardown()
-            self._saved_packets.extend(saved)
-        self.mapping.clear()
+        yield from self.control.pre_migrate()
 
     def _post_migrate(self):
-        """After resuming on the new machine: re-advertise under the new
-        domid and resend the saved packets via the standard path."""
-        if not self.loaded:
-            return
-        yield from self._advertise()
-        saved, self._saved_packets = self._saved_packets, []
-        for data in saved:
-            self.resend_via_standard_path(data)
+        yield from self.control.post_migrate()
 
     # ------------------------------------------------------------------
     # Optional idle-channel reaper
@@ -328,16 +262,7 @@ class XenLoopModule:
     _last_traffic = 0.0
 
     def _idle_monitor(self):
-        guest = self.guest
-        while self.loaded:
-            yield guest.sim.timeout(self.idle_timeout)
-            cutoff = guest.sim.now - self.idle_timeout
-            for channel in list(self.channels.values()):
-                if (
-                    channel.state is ChannelState.CONNECTED
-                    and channel.last_activity < cutoff
-                ):
-                    yield from channel.teardown()
+        yield from self.control.idle_monitor()
 
     def stats(self) -> dict[str, int]:
         """Snapshot of per-module packet and channel counters."""
@@ -345,6 +270,6 @@ class XenLoopModule:
             "via_channel": self.pkts_via_channel,
             "via_standard": self.pkts_via_standard,
             "too_big": self.pkts_too_big,
-            "channels": len(self.channels),
-            "announcements": self.announcements_seen,
+            "channels": len(self.control.channels),
+            "announcements": self.control.announcements_seen,
         }

@@ -296,22 +296,10 @@ class SocketBypassModule(XenLoopModule):
 
         channel.stream_handler = handler
 
-    def _initiate_bootstrap(self, mac, peer_domid) -> None:
-        super()._initiate_bootstrap(mac, peer_domid)
-        channel = self.channels.get(mac)
-        if channel is not None:
-            self._attach_stream_handler(channel)
-
-    def _handle_create_channel(self, msg, src_mac) -> None:
-        super()._handle_create_channel(msg, src_mac)
-        channel = self.channels.get(src_mac)
-        if channel is not None and channel.stream_handler is None:
-            self._attach_stream_handler(channel)
-
-    def _handle_connect_request(self, msg) -> None:
-        super()._handle_connect_request(msg)
-        channel = self.channels.get(msg.sender_mac)
-        if channel is not None and channel.stream_handler is None:
+    def channel_created(self, channel: Channel) -> None:
+        """LifecycleHooks: every new channel -- whichever handshake path
+        created it -- gets the stream demultiplexer attached."""
+        if channel.stream_handler is None:
             self._attach_stream_handler(channel)
 
     def _stream_input(self, channel: Channel, frame: bytes) -> None:

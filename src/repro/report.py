@@ -9,7 +9,13 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Optional, Sequence
 
-__all__ = ["format_engine_stats", "format_series", "format_table", "ratio"]
+__all__ = [
+    "format_engine_stats",
+    "format_series",
+    "format_table",
+    "ratio",
+    "scenario_catalog",
+]
 
 
 def format_table(
@@ -101,6 +107,22 @@ def format_engine_stats(stats: Mapping[str, float]) -> str:
             f"pool={ser['pool_hits']:,}/{ser['pool_hits'] + ser['pool_misses']:,}"
         )
     return "\n".join(lines)
+
+
+def scenario_catalog() -> str:
+    """Render the scenario registry as an aligned name/description list.
+
+    Reads :data:`repro.scenarios.SCENARIO_SPECS`, so a newly registered
+    builder shows up here (and in ``python -m repro list``) with no
+    other change.
+    """
+    from repro.scenarios import SCENARIO_SPECS
+
+    width = max(len(name) for name in SCENARIO_SPECS)
+    return "\n".join(
+        f"  {spec.name.ljust(width)}  {spec.description}"
+        for spec in SCENARIO_SPECS.values()
+    )
 
 
 def ratio(a: float, b: float) -> float:

@@ -1,0 +1,57 @@
+"""Evaluation topologies from the paper, as declarative specs.
+
+The package splits three concerns that used to share one module:
+
+* :mod:`repro.scenarios.base` -- the :class:`Scenario` result object
+  (endpoints + ``warmup()``).
+* :mod:`repro.scenarios.registry` -- the ``@scenario`` decorator and
+  the ``SCENARIO_BUILDERS`` registry that ``build()``/the CLI consume.
+* :mod:`repro.scenarios.paper` -- the builders themselves, each a thin
+  :class:`repro.topology.ClusterSpec` spec.
+
+``from repro import scenarios`` keeps working exactly as before: every
+public name of the old flat module is re-exported here.
+"""
+
+from __future__ import annotations
+
+from repro.calibration import DEFAULT_COSTS, CostModel
+from repro.scenarios.base import Scenario
+from repro.scenarios.registry import (
+    SCENARIO_BUILDERS,
+    SCENARIO_SPECS,
+    ScenarioSpec,
+    build,
+    scenario,
+    scenario_names,
+)
+
+# Importing the builders registers them (must come after registry).
+from repro.scenarios.paper import (
+    inter_machine,
+    migration_pair,
+    native_loopback,
+    netfront_netback,
+    xenloop,
+    xenloop_cluster,
+    xenloop_mesh,
+)
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COSTS",
+    "SCENARIO_BUILDERS",
+    "SCENARIO_SPECS",
+    "Scenario",
+    "ScenarioSpec",
+    "build",
+    "inter_machine",
+    "migration_pair",
+    "native_loopback",
+    "netfront_netback",
+    "scenario",
+    "scenario_names",
+    "xenloop",
+    "xenloop_cluster",
+    "xenloop_mesh",
+]

@@ -1,0 +1,218 @@
+"""The paper's evaluation topologies as declarative specs (Sect. 4).
+
+* ``inter_machine``     -- two native hosts across a 1 Gbps switch.
+* ``netfront_netback``  -- two guests on one Xen machine, standard path.
+* ``xenloop``           -- same, with the XenLoop module in both guests
+  and the discovery module in Dom0.
+* ``native_loopback``   -- two processes on one non-virtualized host
+  over the local loopback interface (the baseline ceiling).
+* ``xenloop_mesh``      -- N co-resident guests, XenLoop everywhere.
+* ``migration_pair``    -- two Xen machines on a switch (Fig. 11).
+* ``xenloop_cluster``   -- many guests across two Xen machines (the
+  roadmap's churn-scale topology).
+
+Each builder is a *thin spec*: it declares the cluster with
+:class:`repro.topology.ClusterSpec` and lets the topology layer build
+it.  The :func:`~repro.scenarios.registry.scenario` decorator
+registers every builder, so ``build(name)`` and the CLI always see the
+full set.
+"""
+
+from __future__ import annotations
+
+from repro import topology
+from repro.calibration import DEFAULT_COSTS, CostModel
+from repro.scenarios.base import Scenario
+from repro.scenarios.registry import scenario
+
+__all__ = [
+    "inter_machine",
+    "migration_pair",
+    "native_loopback",
+    "netfront_netback",
+    "xenloop",
+    "xenloop_cluster",
+    "xenloop_mesh",
+]
+
+
+@scenario()
+def inter_machine(costs: CostModel = DEFAULT_COSTS, seed: int = 0) -> Scenario:
+    """Two native machines across a 1 Gbps Ethernet switch."""
+    spec = topology.ClusterSpec(
+        name="inter_machine",
+        machines=tuple(
+            topology.MachineSpec(
+                name=f"m{i}",
+                kind="native",
+                guests=(topology.GuestSpec(f"host{i}", ip=f"10.0.0.{i + 1}", module=None),),
+            )
+            for i in range(2)
+        ),
+    )
+    return spec.build(costs, seed=seed)
+
+
+@scenario()
+def native_loopback(costs: CostModel = DEFAULT_COSTS, seed: int = 0) -> Scenario:
+    """Two processes on one non-virtualized host, via the loopback device."""
+    spec = topology.ClusterSpec(
+        name="native_loopback",
+        machines=(
+            topology.MachineSpec(
+                name="host",
+                kind="native",
+                guests=(topology.GuestSpec("host", ip="10.0.0.1", module=None),),
+            ),
+        ),
+    )
+    return spec.build(costs, seed=seed)
+
+
+@scenario()
+def netfront_netback(costs: CostModel = DEFAULT_COSTS, seed: int = 0) -> Scenario:
+    """Co-resident guests over the standard split-driver path via Dom0."""
+    spec = topology.ClusterSpec(
+        name="netfront_netback",
+        machines=(
+            topology.MachineSpec(
+                name="xenhost",
+                guests=(
+                    topology.GuestSpec("vm1", ip="10.0.0.1", module=None),
+                    topology.GuestSpec("vm2", ip="10.0.0.2", module=None),
+                ),
+            ),
+        ),
+    )
+    return spec.build(costs, seed=seed)
+
+
+@scenario()
+def xenloop(
+    costs: CostModel = DEFAULT_COSTS,
+    seed: int = 0,
+    fifo_order: int = 13,
+    zero_copy_rx: bool = False,
+    socket_bypass: bool = False,
+) -> Scenario:
+    """Co-resident guests with XenLoop loaded (64 KB FIFOs by default).
+
+    ``socket_bypass=True`` loads the experimental transport-layer
+    variant (the paper's future work) instead of the base module.
+    """
+    module = "socket_bypass" if socket_bypass else "xenloop"
+    spec = topology.ClusterSpec(
+        name="xenloop",
+        machines=(
+            topology.MachineSpec(
+                name="xenhost",
+                guests=tuple(
+                    topology.GuestSpec(
+                        name,
+                        ip=ip,
+                        module=module,
+                        fifo_order=fifo_order,
+                        zero_copy_rx=zero_copy_rx,
+                    )
+                    for name, ip in (("vm1", "10.0.0.1"), ("vm2", "10.0.0.2"))
+                ),
+            ),
+        ),
+    )
+    return spec.build(costs, seed=seed)
+
+
+@scenario(description="N co-resident guests, XenLoop loaded in all of them.")
+def xenloop_mesh(
+    n_guests: int = 3,
+    costs: CostModel = DEFAULT_COSTS,
+    seed: int = 0,
+) -> Scenario:
+    """``n_guests`` co-resident guests, XenLoop loaded in all of them.
+
+    Channels form lazily and pairwise on first traffic, so a full mesh
+    emerges only between guests that actually talk.  ``node_a``/``node_b``
+    are the first two guests; the rest are in ``machines[0].guests``.
+    """
+    if n_guests < 2:
+        raise ValueError("a mesh needs at least two guests")
+    spec = topology.ClusterSpec(
+        name="xenloop_mesh",
+        machines=(
+            topology.MachineSpec(
+                name="xenhost",
+                guests=tuple(
+                    topology.GuestSpec(f"vm{i + 1}", ip=f"10.0.0.{i + 1}")
+                    for i in range(n_guests)
+                ),
+            ),
+        ),
+        # warmup() only drives a<->b; the other pairs connect on their
+        # own first traffic.
+        expect_channels=False,
+    )
+    return spec.build(costs, seed=seed)
+
+
+@scenario(description="Two Xen machines on a switch, one XenLoop guest each (Fig. 11).")
+def migration_pair(costs: CostModel = DEFAULT_COSTS, seed: int = 0) -> Scenario:
+    """Two Xen machines on a switch, one guest each, XenLoop loaded on
+    both guests and discovery in both Dom0s -- the Fig. 11 topology.
+
+    ``node_b`` (vm2, on machine B) is the guest that migrates.
+    """
+    spec = topology.ClusterSpec(
+        name="migration_pair",
+        machines=(
+            topology.MachineSpec(
+                name="xenA",
+                nic_mac="00:02:b3:aa:00:01",
+                guests=(topology.GuestSpec("vm1", ip="10.0.0.1"),),
+            ),
+            topology.MachineSpec(
+                name="xenB",
+                nic_mac="00:02:b3:bb:00:01",
+                guests=(topology.GuestSpec("vm2", ip="10.0.0.2"),),
+            ),
+        ),
+        expect_channels=False,
+    )
+    return spec.build(costs, seed=seed)
+
+
+@scenario(description="Many XenLoop guests across two (or more) Xen machines.")
+def xenloop_cluster(
+    costs: CostModel = DEFAULT_COSTS,
+    seed: int = 0,
+    guests_per_machine: int = 4,
+    n_machines: int = 2,
+) -> Scenario:
+    """``n_machines`` Xen machines on a switch, ``guests_per_machine``
+    XenLoop guests each (default 8 guests across 2 machines).
+
+    The endpoints are the first two guests of the first machine, so the
+    measured pair is co-resident (FIFO path) while the cluster carries
+    the discovery/advertisement load of every machine; churn and
+    workload schedules target any guest by name (``m<i>g<j>``).
+    """
+    if n_machines < 1 or guests_per_machine < 1:
+        raise ValueError("xenloop_cluster needs at least one machine and one guest")
+    if n_machines * guests_per_machine < 2:
+        raise ValueError("xenloop_cluster needs at least two guests")
+    spec = topology.ClusterSpec(
+        name="xenloop_cluster",
+        machines=tuple(
+            topology.MachineSpec(
+                name=f"xen{i}",
+                guests=tuple(
+                    topology.GuestSpec(f"m{i}g{j}")
+                    for j in range(guests_per_machine)
+                ),
+            )
+            for i in range(n_machines)
+        ),
+        # expect_channels resolves automatically: warmup waits for the
+        # co-resident endpoint pair; everyone else connects on first
+        # traffic.
+    )
+    return spec.build(costs, seed=seed)

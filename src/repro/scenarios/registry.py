@@ -1,0 +1,81 @@
+"""Auto-registration of scenario builders.
+
+Every builder decorated with :func:`scenario` lands in
+``SCENARIO_BUILDERS`` at definition time, so the registry can never
+drift from the set of builders (the pre-registry bug: ``xenloop_mesh``
+and ``migration_pair`` existed but ``build()`` and the CLI rejected
+them).  ``cli.py``, ``report.py`` and ``trace.py`` all consume this
+registry rather than private name lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.calibration import DEFAULT_COSTS, CostModel
+from repro.scenarios.base import Scenario
+
+__all__ = [
+    "SCENARIO_BUILDERS",
+    "SCENARIO_SPECS",
+    "ScenarioSpec",
+    "build",
+    "scenario",
+    "scenario_names",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Registry entry: the builder plus its one-line description."""
+
+    name: str
+    builder: Callable[..., Scenario]
+    description: str
+
+
+#: name -> builder callable (the decorator keeps this in sync).
+SCENARIO_BUILDERS: dict[str, Callable[..., Scenario]] = {}
+#: name -> full registry entry.
+SCENARIO_SPECS: dict[str, ScenarioSpec] = {}
+
+
+def scenario(name: str | None = None, *, description: str | None = None):
+    """Class of decorators registering a scenario builder.
+
+    ``@scenario()`` registers under the function's own name with its
+    docstring's first line as the description; both can be overridden.
+    """
+
+    def decorate(fn: Callable[..., Scenario]) -> Callable[..., Scenario]:
+        key = name or fn.__name__
+        if key in SCENARIO_BUILDERS:
+            raise ValueError(f"scenario {key!r} registered twice")
+        doc = description
+        if doc is None:
+            doc = (fn.__doc__ or "").strip().splitlines()[0] if fn.__doc__ else ""
+        SCENARIO_SPECS[key] = ScenarioSpec(name=key, builder=fn, description=doc)
+        SCENARIO_BUILDERS[key] = fn
+        return fn
+
+    return decorate
+
+
+def scenario_names() -> list[str]:
+    """All registered scenario names, in registration order."""
+    return list(SCENARIO_BUILDERS)
+
+
+def build(name: str, costs: CostModel = DEFAULT_COSTS, **kwargs) -> Scenario:
+    """Build a scenario by name (see SCENARIO_BUILDERS).
+
+    ``costs`` is forwarded by keyword so builders with leading
+    positional parameters of their own (``xenloop_mesh(n_guests, ...)``)
+    compose with per-scenario ``kwargs``.
+    """
+    try:
+        builder = SCENARIO_BUILDERS[name]
+    except KeyError:
+        raise ValueError(f"unknown scenario {name!r}; choose from {sorted(SCENARIO_BUILDERS)}")
+    return builder(costs=costs, **kwargs)

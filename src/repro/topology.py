@@ -1,0 +1,423 @@
+"""Declarative cluster topologies: specs in, running scenarios out.
+
+The paper's evaluation uses a handful of hand-wired 2-3 VM setups; the
+roadmap's churn-heavy many-VM experiments need topologies that compose.
+This module is the declarative layer: you describe a cluster --
+machines, guests, per-guest module configuration, workloads, churn
+schedule -- as plain dataclasses, and :meth:`ClusterSpec.build` turns
+the description into a live :class:`Cluster` (a
+:class:`~repro.scenarios.Scenario` subclass, so every existing
+workload, report, and trace helper works on it unchanged).
+
+Determinism contract: ``build`` constructs the simulation in a fixed
+phase order -- switch, machine shells, network attachment (per machine,
+in listed order), guests (in listed order), XenLoop modules (in guest
+order), discovery modules (in machine order) -- so a spec builds the
+same event sequence every time, and the hand-written paper scenarios
+re-expressed as specs (see :mod:`repro.scenarios.paper`) reproduce
+their golden results bit-identically.
+
+Example -- eight guests across two Xen machines with a workload::
+
+    spec = ClusterSpec(
+        name="two_racks",
+        machines=[
+            MachineSpec("xenA", guests=[GuestSpec(f"a{i}") for i in range(4)]),
+            MachineSpec("xenB", guests=[GuestSpec(f"b{i}") for i in range(4)]),
+        ],
+        workloads=[WorkloadSpec("udp_stream", client="a0", server="a1")],
+    )
+    cluster = spec.build(costs, seed=7)
+    cluster.warmup()
+    results = cluster.run_workloads()
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.calibration import DEFAULT_COSTS, CostModel
+from repro.core.channel import ChannelState
+from repro.core.discovery import DiscoveryModule
+from repro.core.module import XenLoopModule
+from repro.net.addr import IPv4Addr, MacAddr
+from repro.net.nic import EthernetSwitch, PhysNIC
+from repro.net.node import Node
+from repro.net.stack import NetworkStack
+from repro.sim.engine import Simulator
+from repro.xen.machine import Machine, XenMachine
+
+__all__ = [
+    "ChurnAction",
+    "Cluster",
+    "ClusterSpec",
+    "GuestSpec",
+    "MachineSpec",
+    "WorkloadSpec",
+]
+
+#: OUI base for auto-assigned physical NIC MACs (matches the paper
+#: scenarios' hand-picked addresses).
+_PHYS_MAC_BASE = 0x0002B3000001
+
+
+@dataclass(frozen=True)
+class GuestSpec:
+    """One guest (Xen machine) or one host node (native machine).
+
+    ``ip=None`` auto-assigns ``10.0.0.<n>`` by global guest position.
+    ``module`` selects the guest-resident module: ``"xenloop"`` (the
+    default for guests in an all-Xen cluster), ``"socket_bypass"`` for
+    the experimental transport-layer variant, or ``None`` for a plain
+    guest on the standard netfront/netback path.
+    """
+
+    name: str
+    ip: Optional[str] = None
+    module: Optional[str] = "xenloop"
+    fifo_order: int = 13
+    idle_timeout: Optional[float] = None
+    zero_copy_rx: bool = False
+    vcpus: int = 1
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One physical machine: ``kind="xen"`` (Dom0 + guests) or
+    ``kind="native"`` (bare host nodes, one per GuestSpec).
+
+    ``nic_mac`` overrides the auto-assigned physical MAC used when the
+    cluster has a switch.  ``discovery=None`` auto-enables the Dom0
+    discovery module whenever any guest on the machine loads XenLoop.
+    """
+
+    name: str
+    guests: tuple[GuestSpec, ...] = ()
+    kind: str = "xen"
+    n_cores: int = 2
+    nic_mac: Optional[str] = None
+    discovery: Optional[bool] = None
+
+    def __post_init__(self):
+        if self.kind not in ("xen", "native"):
+            raise ValueError(f"machine kind must be 'xen' or 'native', not {self.kind!r}")
+        object.__setattr__(self, "guests", tuple(self.guests))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One measurement between two named guests.
+
+    ``kind`` names a :mod:`repro.workloads.netperf` workload
+    (``udp_stream``, ``tcp_stream``, ``tcp_rr``, ``udp_rr``,
+    ``tcp_crr``); ``params`` are passed through (msg_size, duration,
+    ...).  Workloads run sequentially in list order.
+    """
+
+    kind: str
+    client: str
+    server: str
+    params: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ChurnAction:
+    """One scheduled lifecycle disruption.
+
+    ``action``: ``"migrate"`` (live-migrate ``guest`` to
+    ``to_machine``), ``"shutdown"`` (guest shutdown), or ``"unload"``
+    (remove the guest's XenLoop module).  ``at`` is simulated seconds
+    after :meth:`Cluster.start_churn` is called.
+    """
+
+    at: float
+    action: str
+    guest: str
+    to_machine: Optional[str] = None
+
+    def __post_init__(self):
+        if self.action not in ("migrate", "shutdown", "unload"):
+            raise ValueError(f"unknown churn action {self.action!r}")
+        if self.action == "migrate" and self.to_machine is None:
+            raise ValueError("migrate needs to_machine")
+
+
+# Import here to avoid a cycle at module-import time: scenarios.base
+# imports nothing from topology, but scenarios/__init__ re-exports both.
+from repro.scenarios.base import Scenario  # noqa: E402
+
+
+@dataclass
+class Cluster(Scenario):
+    """A built cluster: a Scenario plus by-name access to everything.
+
+    ``node_a``/``node_b`` (the Scenario endpoints) are the cluster's
+    declared endpoints; :meth:`view` re-aims them at any guest pair so
+    the per-pair netperf workloads run between arbitrary guests.
+    """
+
+    spec: Optional[ClusterSpec] = None
+    #: guest/host nodes by spec name, in declaration order.
+    guests: dict = field(default_factory=dict)
+    #: machines by spec name.
+    machines_by_name: dict = field(default_factory=dict)
+    #: all Dom0 discovery modules (Scenario.discovery is the first).
+    discoveries: list = field(default_factory=list)
+
+    def _channels_connected(self) -> bool:
+        # Unlike a two-guest Scenario, a cluster may carry many modules
+        # whose channels form lazily on their own first traffic: warmup
+        # only waits for the *measured endpoints* to connect.
+        endpoint_modules = [
+            m
+            for m in (self.modules.get(self.node_a.name), self.modules.get(self.node_b.name))
+            if m is not None
+        ]
+        if not endpoint_modules:
+            return True
+        return all(
+            any(ch.state is ChannelState.CONNECTED for ch in m.channels.values())
+            for m in endpoint_modules
+        )
+
+    def view(self, client: str, server: str) -> "Cluster":
+        """A shallow endpoint view: same simulation, endpoints re-aimed
+        at ``client``/``server`` (for running a workload between them)."""
+        a, b = self.guests[client], self.guests[server]
+        return dataclasses.replace(
+            self, node_a=a, node_b=b, ip_a=a.stack.ip, ip_b=b.stack.ip
+        )
+
+    # -- workloads -----------------------------------------------------
+    def run_workloads(self) -> list[tuple[WorkloadSpec, object]]:
+        """Run the spec's workloads sequentially; returns (spec, result)
+        pairs."""
+        from repro.workloads import netperf
+
+        results = []
+        for wl in self.spec.workloads if self.spec else ():
+            fn = getattr(netperf, wl.kind, None)
+            if fn is None:
+                raise ValueError(f"unknown workload kind {wl.kind!r}")
+            results.append((wl, fn(self.view(wl.client, wl.server), **wl.params)))
+        return results
+
+    # -- churn ---------------------------------------------------------
+    def start_churn(self) -> None:
+        """Spawn the churn schedule (one process; actions run at their
+        ``at`` offsets from now, in list order)."""
+        if self.spec and self.spec.churn:
+            self.sim.process(self._churn_runner(), name="cluster-churn")
+
+    def _churn_runner(self):
+        from repro.xen.migration import live_migrate
+
+        start = self.sim.now
+        for action in sorted(self.spec.churn, key=lambda a: a.at):
+            delay = start + action.at - self.sim.now
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            guest = self.guests[action.guest]
+            if action.action == "migrate":
+                yield from live_migrate(guest, self.machines_by_name[action.to_machine])
+            elif action.action == "shutdown":
+                yield from guest.shutdown()
+            elif action.action == "unload":
+                module = self.modules.get(action.guest)
+                if module is not None:
+                    yield from module.unload()
+
+    def run_churn(self, settle: float = 1.0) -> None:
+        """Start the churn schedule and run the simulation through it
+        (plus ``settle`` seconds for teardowns to complete)."""
+        if not (self.spec and self.spec.churn):
+            return
+        self.start_churn()
+        horizon = self.sim.now + max(a.at for a in self.spec.churn) + settle
+        self.sim.run(until=horizon)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """The declarative description :meth:`build` turns into a Cluster."""
+
+    name: str
+    machines: tuple[MachineSpec, ...] = ()
+    #: the two measurement endpoints, by guest name; defaults to the
+    #: first two guests in declaration order (or the first guest twice
+    #: for a single-node loopback cluster).
+    endpoints: Optional[tuple[str, str]] = None
+    #: whether warmup() waits for every module to have a CONNECTED
+    #: channel; None = auto (True iff the endpoints are co-resident
+    #: module-loaded guests and are the only module-loaded guests).
+    expect_channels: Optional[bool] = None
+    workloads: tuple[WorkloadSpec, ...] = ()
+    churn: tuple[ChurnAction, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "machines", tuple(self.machines))
+        object.__setattr__(self, "workloads", tuple(self.workloads))
+        object.__setattr__(self, "churn", tuple(self.churn))
+        names = [g.name for m in self.machines for g in m.guests]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate guest names in cluster {self.name!r}")
+        if not names:
+            raise ValueError(f"cluster {self.name!r} has no guests")
+        if self.endpoints is not None:
+            for end in self.endpoints:
+                if end not in names:
+                    raise ValueError(f"endpoint {end!r} is not a declared guest")
+
+    # -- derived properties -------------------------------------------
+    def guest_names(self) -> list[str]:
+        return [g.name for m in self.machines for g in m.guests]
+
+    def needs_switch(self) -> bool:
+        """A switch exists iff the cluster spans more than one machine."""
+        return len(self.machines) > 1
+
+    def resolved_endpoints(self) -> tuple[str, str]:
+        if self.endpoints is not None:
+            return self.endpoints
+        names = self.guest_names()
+        return (names[0], names[1]) if len(names) > 1 else (names[0], names[0])
+
+    # -- construction --------------------------------------------------
+    def build(self, costs: CostModel = DEFAULT_COSTS, seed: int = 0) -> Cluster:
+        """Materialise the cluster (fixed phase order; see module doc)."""
+        sim = Simulator(seed=seed)
+        switch = EthernetSwitch(sim, costs) if self.needs_switch() else None
+
+        # Phase 1: machine shells (constructors spawn no processes).
+        machines: list[tuple[MachineSpec, object]] = []
+        for mspec in self.machines:
+            cls = XenMachine if mspec.kind == "xen" else Machine
+            machines.append((mspec, cls(sim, costs, mspec.name, n_cores=mspec.n_cores)))
+
+        # Phase 2: network attachment, per machine in declaration order.
+        # Xen machines join the switch through Dom0's bridge; native
+        # machines get their host nodes, stacks and (switched) NICs here.
+        ips = {gspec.name: ip for gspec, ip in _ip_allocator(self)}
+        guests: dict[str, Node] = {}
+        next_phys_mac = _PHYS_MAC_BASE
+
+        def _phys_mac(override: Optional[str]) -> MacAddr:
+            nonlocal next_phys_mac
+            if override is not None:
+                return MacAddr(override)
+            mac = MacAddr(next_phys_mac)
+            next_phys_mac += 1
+            return mac
+
+        for mspec, machine in machines:
+            if mspec.kind == "xen":
+                if switch is not None:
+                    machine.attach_network(switch, _phys_mac(mspec.nic_mac))
+            else:
+                for gspec in mspec.guests:
+                    node = Node(sim, machine.cpus, costs, gspec.name)
+                    NetworkStack(node, ips[gspec.name])
+                    if switch is not None:
+                        nic = PhysNIC(node, costs, f"{node.name}.eth0", _phys_mac(mspec.nic_mac))
+                        nic.connect(switch)
+                        node.stack.add_device(nic, primary=True)
+                    guests[gspec.name] = node
+
+        # Phase 3: Xen guests, in global declaration order (guest MACs
+        # are allocated by creation order).
+        for mspec, machine in machines:
+            if mspec.kind != "xen":
+                continue
+            for gspec in mspec.guests:
+                guests[gspec.name] = machine.create_guest(
+                    gspec.name, ip=ips[gspec.name], vcpus=gspec.vcpus
+                )
+
+        # Phase 4: guest modules, in global guest order.
+        modules = {}
+        for mspec, machine in machines:
+            if mspec.kind != "xen":
+                continue
+            for gspec in mspec.guests:
+                if gspec.module is None:
+                    continue
+                module_cls = _module_class(gspec.module)
+                modules[gspec.name] = module_cls(
+                    guests[gspec.name],
+                    fifo_order=gspec.fifo_order,
+                    idle_timeout=gspec.idle_timeout,
+                    zero_copy_rx=gspec.zero_copy_rx,
+                )
+
+        # Phase 5: Dom0 discovery, in machine order.
+        discoveries = []
+        for mspec, machine in machines:
+            if mspec.kind != "xen":
+                continue
+            wants = mspec.discovery
+            if wants is None:
+                wants = any(g.name in modules for g in mspec.guests)
+            if wants:
+                discoveries.append(DiscoveryModule(machine))
+
+        end_a, end_b = self.resolved_endpoints()
+        node_a, node_b = guests[end_a], guests[end_b]
+        return Cluster(
+            name=self.name,
+            sim=sim,
+            costs=costs,
+            node_a=node_a,
+            node_b=node_b,
+            ip_a=ips[end_a],
+            ip_b=ips[end_b],
+            machines=[m for _, m in machines],
+            switch=switch,
+            modules=modules,
+            discovery=discoveries[0] if discoveries else None,
+            expect_channels=self._resolve_expect_channels(modules, end_a, end_b),
+            spec=self,
+            guests=guests,
+            machines_by_name={mspec.name: m for mspec, m in machines},
+            discoveries=discoveries,
+        )
+
+    def _resolve_expect_channels(self, modules: dict, end_a: str, end_b: str) -> bool:
+        # Cluster._channels_connected only watches the endpoint modules,
+        # so warmup can wait whenever the measured pair are co-resident
+        # module-loaded guests (other guests connect lazily on their
+        # own first traffic); endpoints on different machines can only
+        # connect after a migration, so warmup must not wait for them.
+        if self.expect_channels is not None:
+            return self.expect_channels
+        if not modules:
+            return True  # Scenario.warmup skips the wait when moduleless
+        if end_a not in modules or end_b not in modules or end_a == end_b:
+            return False
+        home = {}
+        for mspec in self.machines:
+            for gspec in mspec.guests:
+                home[gspec.name] = mspec.name
+        return home[end_a] == home[end_b]
+
+
+def _module_class(kind: str):
+    if kind == "xenloop":
+        return XenLoopModule
+    if kind == "socket_bypass":
+        from repro.core.socket_bypass import SocketBypassModule
+
+        return SocketBypassModule
+    raise ValueError(f"unknown guest module {kind!r}")
+
+
+def _ip_allocator(spec: ClusterSpec):
+    """Yield (GuestSpec, IPv4Addr) in global declaration order, honouring
+    explicit ``ip`` fields and auto-assigning 10.0.0.<position+1>."""
+    position = 0
+    for mspec in spec.machines:
+        for gspec in mspec.guests:
+            position += 1
+            ip = IPv4Addr(gspec.ip) if gspec.ip else IPv4Addr(f"10.0.0.{position}")
+            yield gspec, ip

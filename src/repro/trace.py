@@ -24,7 +24,15 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.net.packet import Packet
     from repro.scenarios import Scenario
 
-__all__ = ["adopt", "enable", "engine_stats", "hops", "mark", "traced_ping"]
+__all__ = [
+    "adopt",
+    "enable",
+    "engine_stats",
+    "hops",
+    "mark",
+    "traced_ping",
+    "traced_ping_by_name",
+]
 
 _KEY = "trace"
 
@@ -145,3 +153,13 @@ def traced_ping(scenario: "Scenario", size: int = 56) -> list[tuple[str, float]]
         return []
     t0 = records[0][1]
     return [(stage, (t - t0) * 1e6) for stage, t in records]
+
+
+def traced_ping_by_name(name: str, size: int = 56, **kwargs) -> list[tuple[str, float]]:
+    """Build a registered scenario by name, warm it up, and trace one
+    ping through it.  ``kwargs`` go to :func:`repro.scenarios.build`."""
+    from repro import scenarios
+
+    scn = scenarios.build(name, **kwargs)
+    scn.warmup()
+    return traced_ping(scn, size=size)

@@ -67,6 +67,35 @@ class TestAnnouncements:
         scn.sim.run(until=3 * FAST.discovery_period)
         assert scn.xenloop_module(scn.node_a).announcements_seen >= 2
 
+    def test_one_serialization_per_scan(self, xl_cold):
+        """The Announce is built and serialized once per scan; every
+        recipient's frame carries the *identical* payload object."""
+        scn = xl_cold
+        bridge = scn.discovery.machine.bridge
+        captured = []
+        real_input = bridge.input
+
+        from repro.core.discovery import DOM0_MAC
+
+        def tap(port, frame):
+            if frame.eth is not None and frame.eth.src == DOM0_MAC:
+                captured.append((scn.discovery.scans, frame))
+            return real_input(port, frame)
+
+        bridge.input = tap
+        try:
+            scn.sim.run(until=3 * FAST.discovery_period)
+        finally:
+            bridge.input = real_input
+        by_scan = {}
+        for scan, frame in captured:
+            by_scan.setdefault(scan, []).append(frame)
+        multi = [frames for frames in by_scan.values() if len(frames) > 1]
+        assert multi, "expected scans announcing to both guests"
+        for frames in multi:
+            first = frames[0].payload
+            assert all(f.payload is first for f in frames)
+
     def test_third_guest_appears_in_mapping(self, xl_cold):
         scn = xl_cold
         scn.sim.run(until=2 * FAST.discovery_period)
@@ -79,3 +108,23 @@ class TestAnnouncements:
         scn.sim.run(until=scn.sim.now + 2 * FAST.discovery_period)
         module_a = scn.xenloop_module(scn.node_a)
         assert module_a.mapping.get(vm3.mac) == vm3.domid
+
+
+class TestRoster:
+    def test_roster_tracks_advertising_guests(self, xl_cold):
+        scn = xl_cold
+        assert scn.discovery.roster == {}
+        scn.sim.run(until=2 * FAST.discovery_period)
+        assert scn.discovery.roster == {
+            scn.node_a.mac: scn.node_a.domid,
+            scn.node_b.mac: scn.node_b.domid,
+        }
+
+    def test_unloaded_guest_leaves_roster(self, xl):
+        scn = xl
+        module_b = scn.xenloop_module(scn.node_b)
+        proc = scn.sim.process(module_b.unload(), name="test-unload")
+        scn.sim.run_until_complete(proc, timeout=5.0)
+        scn.sim.run(until=scn.sim.now + 2 * FAST.discovery_period)
+        assert scn.node_b.mac not in scn.discovery.roster
+        assert scn.node_a.mac in scn.discovery.roster
