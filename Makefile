@@ -4,7 +4,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-all bench-smoke examples clean
+.PHONY: install test bench bench-all bench-smoke fault-matrix examples clean
 
 install:
 	@$(PYTHON) -m pip install -e . 2>/dev/null || ( \
@@ -29,6 +29,11 @@ bench-all:
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine_throughput.py
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_table3_latency.py --benchmark-only -s
+
+# Fault-injection matrix: every {frame type x handshake phase x fault
+# kind} cell must converge (exit nonzero when any cell leaks or hangs).
+fault-matrix:
+	PYTHONPATH=src $(PYTHON) -m repro faults
 
 examples:
 	@for ex in examples/*.py; do echo "== $$ex =="; $(PYTHON) $$ex || exit 1; done

@@ -8,6 +8,7 @@ Usage::
     python -m repro snapshot            # Tables 1-3 in one run
     python -m repro fig11               # migration timeline
     python -m repro bypass              # future-work socket bypass
+    python -m repro faults              # fault-injection matrix sweep
 """
 
 from __future__ import annotations
@@ -31,7 +32,7 @@ def cmd_list(_args) -> int:
     """List scenarios and available commands."""
     print("scenarios:")
     print(report.scenario_catalog())
-    print("\ncommands: list, ping, snapshot, fig11, bypass")
+    print("\ncommands: list, ping, snapshot, fig11, bypass, trace, faults")
     print("full benchmark harness: pytest benchmarks/ --benchmark-only -s")
     return 0
 
@@ -130,6 +131,15 @@ def cmd_bypass(_args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    """Run the fault-injection matrix; nonzero exit on any failed cell."""
+    from repro.scenarios.fault_matrix import run_fault_matrix
+
+    results = run_fault_matrix(seed=args.seed)
+    print(report.format_fault_matrix(results))
+    return 0 if all(r["ok"] for r in results) else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and dispatch to a subcommand; returns the exit code."""
     parser = argparse.ArgumentParser(
@@ -145,6 +155,8 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("bypass", help="future-work socket bypass comparison")
     tr = sub.add_parser("trace", help="hop-by-hop ping timeline per path")
     tr.add_argument("scenario", nargs="?", choices=list(scenarios.SCENARIO_BUILDERS))
+    flt = sub.add_parser("faults", help="fault-injection matrix sweep")
+    flt.add_argument("--seed", type=int, default=0)
 
     args = parser.parse_args(argv)
     handlers = {
@@ -154,6 +166,7 @@ def main(argv: list[str] | None = None) -> int:
         "fig11": cmd_fig11,
         "bypass": cmd_bypass,
         "trace": cmd_trace,
+        "faults": cmd_faults,
     }
     if args.command is None:
         parser.print_help()

@@ -40,7 +40,17 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.module import XenLoopModule
     from repro.net.addr import MacAddr
 
-__all__ = ["Channel", "ChannelState"]
+__all__ = ["Channel", "ChannelDeadError", "ChannelState"]
+
+
+class ChannelDeadError(Exception):
+    """The channel died while a sender was blocked on it.
+
+    Raised *into* processes waiting on :meth:`Channel.wait_waiting_space`
+    when teardown empties the waiting list: the space they were waiting
+    for will never appear, and leaving the event pending would park the
+    waiter forever.  Callers (the socket-bypass sender) translate this
+    into their own failure mode."""
 
 #: FIFO entry type for an IPv4 packet.
 ENTRY_IPV4 = 1
@@ -374,6 +384,19 @@ class Channel(LifecycleHooks):
             if not waiter.triggered:
                 waiter.succeed()
 
+    def _fail_waiting_space(self) -> None:
+        """Teardown path: waiters must learn the channel died, not be
+        woken as if space appeared (their next send would silently park
+        on a dead waiting list)."""
+        while self._waiting_space_waiters:
+            waiter = self._waiting_space_waiters.popleft()
+            if not waiter.triggered:
+                waiter.fail(
+                    ChannelDeadError(
+                        f"channel to dom{self.peer_domid} died while waiting for space"
+                    )
+                )
+
     def wait_waiting_space(self):
         """Event that fires when the waiting list drains a bit (used by
         the socket-bypass variant for sender flow control)."""
@@ -504,8 +527,25 @@ class Channel(LifecycleHooks):
                 pool.release(buf)
         self.waiting_list.clear()
         self.waiting_bytes = 0
-        self._wake_waiting_space()
+        self._fail_waiting_space()
         return saved
+
+    def abort_waiting(self) -> int:
+        """Empty the waiting list without saving anything (bootstrap
+        abort / never-connected teardown): parked staging buffers go
+        back to the module's pool and blocked senders are failed with
+        :class:`ChannelDeadError`.  Returns the number of entries
+        dropped."""
+        pool = self.module.staging_pool
+        dropped = len(self.waiting_list)
+        for _msg_type, data, buf in self.waiting_list:
+            if buf is not None:
+                data = None  # drop the view before recycling its buffer
+                pool.release(buf)
+        self.waiting_list.clear()
+        self.waiting_bytes = 0
+        self._fail_waiting_space()
+        return dropped
 
     def notify_stream_death(self) -> None:
         if self.stream_handler is not None:

@@ -42,6 +42,7 @@ import enum
 from collections import deque
 from typing import TYPE_CHECKING, Optional
 
+from repro import faults
 from repro.core.protocol import (
     Announce,
     ChannelAck,
@@ -235,6 +236,15 @@ class ChannelController:
         self.fsm = ChannelFSM()
         self.hooks = tuple(hooks)
         self._ack_event = None
+        #: handshake sends so far (listener: CREATE_CHANNEL sends;
+        #: connector: CONNECT_REQUEST sends) -- the retry-ladder position.
+        self.attempts = 0
+        #: connector map/bind in flight: duplicate CREATE_CHANNEL frames
+        #: (listener retry after ack loss) must not re-enter the mapping.
+        self._connector_busy = False
+        #: when this endpoint entered BOOTSTRAPPING (the announce-driven
+        #: connector watchdog measures staleness against this).
+        self.bootstrap_started_at = channel.guest.sim.now
 
     @property
     def state(self) -> ChannelState:
@@ -243,6 +253,14 @@ class ChannelController:
     def _fire(self, hook_name: str) -> None:
         for hook in self.hooks:
             getattr(hook, hook_name)(self.channel)
+
+    def _phase_tap(self, phase: str) -> None:
+        """Fault tap: crash/migrate rules anchored to a handshake phase
+        (no-op without an installed plan)."""
+        guest = self.channel.guest
+        plan = getattr(guest.sim, "fault_plan", None)
+        if plan is not None and plan.has_phase_rules:
+            plan.on_phase(guest, phase)
 
     # ------------------------------------------------------------------
     # Bootstrap -- listener side (smaller guest-ID, paper Fig. 3)
@@ -254,16 +272,31 @@ class ChannelController:
         guest = channel.guest
         costs = guest.costs
         self.fsm.feed(ChannelEvent.BOOTSTRAP_START)
-        msg = yield from channel.create_listener_transport()
+        self.bootstrap_started_at = guest.sim.now
+        self._phase_tap("bootstrapping")
+        try:
+            msg = yield from channel.create_listener_transport()
+        except Exception:  # noqa: BLE001
+            if not guest.alive:
+                # Died mid-allocation (crash injection): the domain
+                # teardown already reclaimed every grant and port, and a
+                # dead guest must not keep allocating hypervisor state.
+                return False
+            raise
 
         # Send create_channel; retry up to 3 times on ack timeout.
         for _attempt in range(costs.bootstrap_retries):
+            self.attempts = _attempt + 1
             self._ack_event = guest.sim.event(name="xl-ack")
             yield from channel.module.send_control(channel.peer_mac, msg)
             yield guest.sim.any_of(
                 [self._ack_event, guest.sim.timeout(costs.bootstrap_timeout)]
             )
+            if not guest.alive:
+                return False  # died while waiting for the ack
             if self.fsm.state is ChannelState.CONNECTED:
+                if self.attempts > 1:
+                    faults.note_recovered(guest.sim, "bootstrap_retry")
                 return True
             if self.fsm.state is not ChannelState.BOOTSTRAPPING:
                 break  # torn down while waiting
@@ -278,6 +311,7 @@ class ChannelController:
         if self.fsm.feed(ChannelEvent.CREATE_ACK) is None:
             return  # not BOOTSTRAPPING: stale or out-of-order ack
         self._fire("channel_connected")
+        self._phase_tap("connected")
         if self._ack_event is not None and not self._ack_event.triggered:
             self._ack_event.succeed()
 
@@ -286,8 +320,10 @@ class ChannelController:
         guest = channel.guest
         self.fsm.feed(ChannelEvent.ACK_TIMEOUT)
         channel.discard_listener_transport()
+        channel.abort_waiting()
         self._fire("channel_failed")
         self._fire("channel_closed")
+        faults.note_degraded(guest.sim, "bootstrap_abort")
         yield guest.exec(guest.costs.grant_entry_update)
 
     # ------------------------------------------------------------------
@@ -298,28 +334,57 @@ class ChannelController:
         context).  Returns True on success."""
         channel = self.channel
         guest = channel.guest
+        if self._connector_busy:
+            return False  # duplicate CREATE while our mapping is in flight
+        was = self.fsm.state
         if self.fsm.feed(ChannelEvent.CREATE_CHANNEL) is None:
             return False  # already connected / closed / failed
+        if was is not ChannelState.BOOTSTRAPPING:
+            # Fresh entry into the handshake (not a listener retry).
+            self.bootstrap_started_at = guest.sim.now
+            self._phase_tap("bootstrapping")
         peer_table = guest.machine.hypervisor.grant_tables.get(channel.peer_domid)
         if peer_table is None:
             self.fsm.feed(ChannelEvent.MAP_FAILED)
+            channel.abort_waiting()
             self._fire("channel_failed")
             self._fire("channel_closed")
             return False
 
+        self._connector_busy = True
         try:
             yield from channel.map_connector_transport(peer_table, msg)
         except Exception:  # noqa: BLE001 - any mapping/bind failure aborts cleanly
+            self._connector_busy = False
             yield from channel.disengage(notify_peer=False)
             self.fsm.feed(ChannelEvent.MAP_FAILED)
+            channel.abort_waiting()
             self._fire("channel_failed")
             self._fire("channel_closed")
+            faults.note_degraded(guest.sim, "map_failed")
             return False
+        self._connector_busy = False
 
         self.fsm.feed(ChannelEvent.HANDSHAKE_DONE)
         self._fire("channel_connected")
+        if self.attempts > 1:
+            faults.note_recovered(guest.sim, "connect_retry")
+        self._phase_tap("connected")
         yield from channel.module.send_control(channel.peer_mac, ChannelAck(guest.domid))
         return True
+
+    def abort_connect(self) -> None:
+        """Connector gave up waiting for CREATE_CHANNEL (retry budget
+        exhausted): fail the channel so the next packet to this peer
+        re-initiates the bootstrap from scratch.  Reuses the FSM's
+        ACK_TIMEOUT rail -- both sides time the same handshake out."""
+        channel = self.channel
+        if self.fsm.feed(ChannelEvent.ACK_TIMEOUT) is None:
+            return
+        channel.abort_waiting()
+        self._fire("channel_failed")
+        self._fire("channel_closed")
+        faults.note_degraded(channel.guest.sim, "bootstrap_abort")
 
     # ------------------------------------------------------------------
     # Teardown (paper Sect. 3.3, "Channel teardown")
@@ -337,9 +402,12 @@ class ChannelController:
         channel = self.channel
         guest = channel.guest
         if self.fsm.state is not ChannelState.CONNECTED:
-            # Nothing on the wire yet (or already closed): just record
-            # the close and drop out of the module's table.
+            # Nothing on the wire yet (or already closed): record the
+            # close, release anything parked on the waiting list (a
+            # bootstrap abandoned by unload/migration can still have
+            # blocked senders), and drop out of the module's table.
             self.fsm.feed(cause)
+            channel.abort_waiting()
             self._fire("channel_closed")
             return []
         costs = guest.costs
@@ -458,10 +526,12 @@ class ControlPlane:
         for mac, channel in list(self.channels.items()):
             if fresh.get(mac) == channel.peer_domid:
                 channel.ctrl.fsm.feed(ChannelEvent.ANNOUNCE_SEEN)
+                self._retry_stuck_connector(channel)
                 continue
             if channel.state in (ChannelState.CONNECTED, ChannelState.BOOTSTRAPPING):
                 self.guest.spawn(
-                    channel.ctrl.teardown(ChannelEvent.PEER_LOST), name="xl-teardown"
+                    self._teardown_and_fallback(channel, ChannelEvent.PEER_LOST),
+                    name="xl-teardown",
                 )
             else:
                 self.channels.pop(mac, None)
@@ -493,7 +563,16 @@ class ControlPlane:
         if channel is None:
             channel = self._new_channel(msg.sender_domid, src_mac)
         if channel.state is ChannelState.CONNECTED:
-            return  # duplicate create (listener retry after ack loss)
+            # Duplicate create (listener retry after ack loss): our
+            # CHANNEL_ACK never arrived.  Re-ack so the listener can
+            # complete instead of burning through its retry ladder into
+            # FAILED while our side believes the channel is up.
+            self.guest.spawn(
+                self.module.send_control(src_mac, ChannelAck(self.guest.domid)),
+                name="xl-ack-resend",
+            )
+            faults.note_recovered(self.guest.sim, "ack_resend")
+            return
         self.guest.spawn(channel.ctrl.connector_complete(msg), name="xl-connect")
 
     # ------------------------------------------------------------------
@@ -505,13 +584,51 @@ class ControlPlane:
             self.guest.spawn(channel.ctrl.listener_start(), name="xl-listen")
         else:
             # We are the connector: ask the (smaller-ID) peer to create.
-            channel.ctrl.fsm.feed(ChannelEvent.BOOTSTRAP_START)
+            ctrl = channel.ctrl
+            ctrl.fsm.feed(ChannelEvent.BOOTSTRAP_START)
+            ctrl.attempts = 1
+            ctrl.bootstrap_started_at = self.guest.sim.now
+            ctrl._phase_tap("bootstrapping")
             self.guest.spawn(
                 self.module.send_control(
                     mac, ConnectRequest(self.guest.domid, self.guest.mac)
                 ),
                 name="xl-connreq",
             )
+
+    def _retry_stuck_connector(self, channel: "Channel") -> None:
+        """Announce-driven connector retry (soft-state watchdog).
+
+        A connector has no timer of its own: if its CONNECT_REQUEST (or
+        the listener's CREATE_CHANNEL reply) is lost, the channel would
+        sit in BOOTSTRAPPING forever.  The periodic announcement is its
+        retry clock: while the peer is still announced and the handshake
+        is stale (older than the ack timeout), re-send the request -- up
+        to the same retry budget the listener gets -- then abort to
+        FAILED so the next packet re-initiates from scratch.  Never
+        fires in a loss-free run: handshakes complete orders of
+        magnitude faster than one discovery period.
+        """
+        ctrl = channel.ctrl
+        guest = self.guest
+        if (
+            channel.state is not ChannelState.BOOTSTRAPPING
+            or channel.is_listener
+            or ctrl._connector_busy
+            or guest.sim.now - ctrl.bootstrap_started_at <= guest.costs.bootstrap_timeout
+        ):
+            return
+        if ctrl.attempts >= guest.costs.bootstrap_retries:
+            ctrl.abort_connect()
+            return
+        ctrl.attempts += 1
+        faults.note_recovered(guest.sim, "connreq_resend")
+        self.guest.spawn(
+            self.module.send_control(
+                channel.peer_mac, ConnectRequest(guest.domid, guest.mac)
+            ),
+            name="xl-connreq",
+        )
 
     # ------------------------------------------------------------------
     # Optional idle-channel reaper ("conserve system resources", 3.1)
@@ -527,7 +644,20 @@ class ControlPlane:
                     channel.state is ChannelState.CONNECTED
                     and channel.last_activity < cutoff
                 ):
-                    yield from channel.ctrl.teardown(ChannelEvent.IDLE_EXPIRED)
+                    yield from self._teardown_and_fallback(
+                        channel, ChannelEvent.IDLE_EXPIRED
+                    )
+
+    def _teardown_and_fallback(self, channel: "Channel", cause: ChannelEvent):
+        """Tear a channel down and re-route its parked packets through
+        the standard netfront path (generator).  In-flight traffic
+        survives a peer death or idle expiry instead of being dropped
+        on the floor with the FIFOs."""
+        saved = yield from channel.ctrl.teardown(cause)
+        if saved:
+            for data in saved:
+                self.module.resend_via_standard_path(data)
+            faults.note_recovered(self.guest.sim, "fallback_resend", len(saved))
 
     # ------------------------------------------------------------------
     # Lifecycle: unload, shutdown, migration (Sect. 3.3-3.4)

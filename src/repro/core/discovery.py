@@ -103,14 +103,30 @@ class DiscoveryModule(LifecycleHooks):
             # the identical payload bytes (hoisted out of the loop).
             msg = Announce(sender_domid=dom0.domid, entries=entries)
             announce_payload = msg.to_bytes()
+            plan = getattr(dom0.sim, "fault_plan", None)
             for domid, mac in entries:
-                frame = Packet(
-                    payload=announce_payload,
-                    eth=EthHeader(dst=mac, src=DOM0_MAC, ethertype=ETH_P_XENLOOP),
-                )
-                self.announcements_sent += 1
-                # Inject into the bridge; it forwards to the guest's vif.
-                self.machine.bridge.input(None, frame)
+                repeats = 1
+                if plan is not None and plan.has_control_rules:
+                    # Fault tap: announcement loss per recipient (the rule's
+                    # ``guest`` matches the recipient).  Announcements are
+                    # periodic and idempotent, so a delay rule here is
+                    # equivalent to a drop of this scan's frame.
+                    target = self.machine.hypervisor.domains.get(domid)
+                    deliver, delay, dup = plan.on_control(
+                        target.name if target is not None else f"dom{domid}",
+                        "Announce",
+                    )
+                    if not deliver or delay > 0.0:
+                        continue
+                    repeats += dup
+                for _ in range(repeats):
+                    frame = Packet(
+                        payload=announce_payload,
+                        eth=EthHeader(dst=mac, src=DOM0_MAC, ethertype=ETH_P_XENLOOP),
+                    )
+                    self.announcements_sent += 1
+                    # Inject into the bridge; it forwards to the guest's vif.
+                    self.machine.bridge.input(None, frame)
 
     def _update_roster(self, entries: list[tuple[int, MacAddr]]) -> None:
         fresh = {mac: domid for domid, mac in entries}

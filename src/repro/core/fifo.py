@@ -362,18 +362,24 @@ class BufferPool:
     overflow beyond ``max_buffers`` are dropped for the GC.
     """
 
-    __slots__ = ("_buffers", "max_buffers", "max_buffer_bytes")
+    __slots__ = ("_buffers", "max_buffers", "max_buffer_bytes", "outstanding")
 
     def __init__(self, max_buffers: int = 32, max_buffer_bytes: int = 1 << 16):
         self._buffers: list[bytearray] = []
         self.max_buffers = max_buffers
         self.max_buffer_bytes = max_buffer_bytes
+        #: buffers currently loaned out (acquired, not yet released).
+        #: Leak detector: after every channel is torn down this must be
+        #: zero -- a positive count means a waiting-list entry kept its
+        #: staging buffer past teardown.
+        self.outstanding = 0
 
     def __len__(self) -> int:
         return len(self._buffers)
 
     def acquire(self, nbytes: int) -> bytearray:
         """Get a buffer of at least ``nbytes`` (pooled if one fits)."""
+        self.outstanding += 1
         buffers = self._buffers
         for i in range(len(buffers) - 1, -1, -1):
             if len(buffers[i]) >= nbytes:
@@ -384,5 +390,6 @@ class BufferPool:
 
     def release(self, buf: bytearray) -> None:
         """Return a buffer to the pool (dropped if full or oversized)."""
+        self.outstanding -= 1
         if len(buf) <= self.max_buffer_bytes and len(self._buffers) < self.max_buffers:
             self._buffers.append(buf)

@@ -176,9 +176,25 @@ class XenLoopModule(LifecycleHooks):
     # ------------------------------------------------------------------
     def send_control(self, dst_mac: MacAddr, msg):
         """Send an out-of-band XenLoop-type control frame via the standard
-        netfront path (generator)."""
-        vif = self.guest.netfront.vif
-        yield from self.guest.stack.link_output(vif, dst_mac, ETH_P_XENLOOP, msg.to_bytes())
+        netfront path (generator).
+
+        This is the fault-injection tap point for control-frame loss,
+        delay, and duplication (see :mod:`repro.faults`): with no plan
+        installed the frame goes out exactly as before."""
+        guest = self.guest
+        repeats = 1
+        plan = getattr(guest.sim, "fault_plan", None)
+        if plan is not None and plan.has_control_rules:
+            deliver, delay, dup = plan.on_control(guest.name, type(msg).__name__)
+            if not deliver:
+                return
+            if delay > 0.0:
+                yield guest.sim.timeout(delay)
+            repeats += dup
+        vif = guest.netfront.vif
+        payload = msg.to_bytes()
+        for _ in range(repeats):
+            yield from guest.stack.link_output(vif, dst_mac, ETH_P_XENLOOP, payload)
 
     def _control_input(self, packet: Packet, dev):
         yield from self.control.control_input(packet, dev)

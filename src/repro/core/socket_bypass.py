@@ -34,7 +34,7 @@ import struct
 from collections import deque
 from typing import TYPE_CHECKING, Optional
 
-from repro.core.channel import Channel, ChannelState, ENTRY_STREAM
+from repro.core.channel import Channel, ChannelDeadError, ChannelState, ENTRY_STREAM
 from repro.core.module import XenLoopModule
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -109,7 +109,10 @@ class BypassConnection:
         offset = 0
         while offset < len(data):
             while self.channel.waiting_bytes > WAITING_LIST_CAP:
-                yield self.channel.wait_waiting_space()
+                try:
+                    yield self.channel.wait_waiting_space()
+                except ChannelDeadError as exc:
+                    raise BypassError("bypass stream died while sending") from exc
                 if self.state == "CLOSED":
                     raise BypassError("bypass stream died while sending")
             chunk = data[offset : offset + MAX_FRAME_PAYLOAD]

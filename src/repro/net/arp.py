@@ -74,6 +74,18 @@ class NeighborCache:
             mac = self.table.get(ip)
             if mac is not None:
                 return mac
+            # Timed out: retract our stale waiter.  insert() pops the
+            # whole list on success, so anything still registered here is
+            # ours from this attempt; leaving it would grow _waiters[ip]
+            # forever for never-resolving addresses.
+            waiters = self._waiters.get(ip)
+            if waiters is not None:
+                try:
+                    waiters.remove(answer)
+                except ValueError:
+                    pass
+                if not waiters:
+                    del self._waiters[ip]
         self.failures += 1
         return None
 

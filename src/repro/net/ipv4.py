@@ -53,6 +53,10 @@ class Reassembler:
 
     def add(self, packet: Packet) -> Optional[Packet]:
         """Absorb a fragment; return the reassembled packet when complete."""
+        # Age out stale buffers on EVERY fragment arrival.  Purging only
+        # when a datagram completed leaked buffers forever on flows whose
+        # datagrams never complete (a sender that died mid-burst).
+        self._purge()
         ip = packet.ip
         key = (ip.src, ip.dst, ip.ident, ip.proto)
         buf = self._buffers.get(key)
@@ -77,7 +81,6 @@ class Reassembler:
         body = b"".join(buf.chunks[off] for off in sorted(buf.chunks))
         hdr = ip.replaced(frag_offset=0, more_frags=False,
                           total_length=IPv4Header.HEADER_LEN + len(body))
-        self._purge()
         return Packet.from_l3_bytes(hdr.to_bytes() + body)
 
     def _purge(self) -> None:

@@ -11,6 +11,7 @@ from typing import Iterable, Mapping, Optional, Sequence
 
 __all__ = [
     "format_engine_stats",
+    "format_fault_matrix",
     "format_series",
     "format_table",
     "ratio",
@@ -106,6 +107,55 @@ def format_engine_stats(stats: Mapping[str, float]) -> str:
             f"fifo_in={ser['fifo_bytes_in']:,}B  fifo_out={ser['fifo_bytes_out']:,}B  "
             f"pool={ser['pool_hits']:,}/{ser['pool_hits'] + ser['pool_misses']:,}"
         )
+    flt = stats.get("faults")
+    if flt is not None:
+        def _counts(d: Mapping[str, int]) -> str:
+            return ",".join(f"{k}={v}" for k, v in d.items()) or "-"
+
+        lines.append(
+            "faults: "
+            f"rules={flt['rules']}  "
+            f"injected[{_counts(flt['injected'])}]  "
+            f"recovered[{_counts(flt['recovered'])}]  "
+            f"degraded[{_counts(flt['degraded'])}]"
+        )
+    return "\n".join(lines)
+
+
+def format_fault_matrix(results: Sequence[Mapping[str, object]]) -> str:
+    """Render a fault_matrix sweep as an aligned cell table.
+
+    Each result mapping needs ``cell`` (the swept {frame type x phase x
+    fault kind} point), ``ok``, and the plan's ``injected`` /
+    ``recovered`` / ``degraded`` counter dicts; failures carry a
+    ``detail`` string with the violated invariant.
+    """
+    header = ["cell", "ok", "injected", "recovered", "degraded", "detail"]
+
+    def _counts(d: Mapping[str, int]) -> str:
+        return ",".join(f"{k}={v}" for k, v in sorted(d.items())) or "-"
+
+    body = []
+    for res in results:
+        body.append(
+            [
+                str(res["cell"]),
+                "PASS" if res["ok"] else "FAIL",
+                _counts(res.get("injected", {})),
+                _counts(res.get("recovered", {})),
+                _counts(res.get("degraded", {})),
+                str(res.get("detail", "") or ""),
+            ]
+        )
+    widths = [max(len(r[i]) for r in [header] + body) for i in range(len(header))]
+    title = "Fault matrix (frame type x handshake phase x fault kind)"
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for row in body:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    npass = sum(1 for r in results if r["ok"])
+    lines.append(f"{npass}/{len(results)} cells converged")
     return "\n".join(lines)
 
 

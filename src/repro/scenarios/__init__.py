@@ -27,6 +27,7 @@ from repro.scenarios.registry import (
 )
 
 # Importing the builders registers them (must come after registry).
+from repro.scenarios.fault_matrix import fault_matrix, run_fault_matrix
 from repro.scenarios.paper import (
     inter_machine,
     migration_pair,
@@ -45,10 +46,12 @@ __all__ = [
     "Scenario",
     "ScenarioSpec",
     "build",
+    "fault_matrix",
     "inter_machine",
     "migration_pair",
     "native_loopback",
     "netfront_netback",
+    "run_fault_matrix",
     "scenario",
     "scenario_names",
     "xenloop",

@@ -400,6 +400,10 @@ class Simulator:
         self._rng = None
         #: total calendar entries processed (events, timeouts, resumes).
         self._event_count = 0
+        #: optional :class:`repro.faults.FaultPlan` consulted by the fault
+        #: tap points (control frames, notifies, grant maps); None = the
+        #: taps are pure no-ops.  The engine itself never reads this.
+        self.fault_plan = None
 
     @property
     def rng(self):

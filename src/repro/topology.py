@@ -127,9 +127,12 @@ class ChurnAction:
     """One scheduled lifecycle disruption.
 
     ``action``: ``"migrate"`` (live-migrate ``guest`` to
-    ``to_machine``), ``"shutdown"`` (guest shutdown), or ``"unload"``
-    (remove the guest's XenLoop module).  ``at`` is simulated seconds
-    after :meth:`Cluster.start_churn` is called.
+    ``to_machine``), ``"shutdown"`` (clean guest shutdown),
+    ``"crash"`` (abrupt death: no callbacks run, peers recover via the
+    announcement diff), ``"restart"`` (re-create a crashed/shut-down
+    guest from its spec), or ``"unload"`` (remove the guest's XenLoop
+    module).  ``at`` is simulated seconds after
+    :meth:`Cluster.start_churn` is called.
     """
 
     at: float
@@ -138,7 +141,7 @@ class ChurnAction:
     to_machine: Optional[str] = None
 
     def __post_init__(self):
-        if self.action not in ("migrate", "shutdown", "unload"):
+        if self.action not in ("migrate", "shutdown", "crash", "restart", "unload"):
             raise ValueError(f"unknown churn action {self.action!r}")
         if self.action == "migrate" and self.to_machine is None:
             raise ValueError("migrate needs to_machine")
@@ -219,15 +222,62 @@ class Cluster(Scenario):
             delay = start + action.at - self.sim.now
             if delay > 0:
                 yield self.sim.timeout(delay)
+            if action.action == "restart":
+                self.restart_guest(action.guest)
+                continue
             guest = self.guests[action.guest]
             if action.action == "migrate":
                 yield from live_migrate(guest, self.machines_by_name[action.to_machine])
             elif action.action == "shutdown":
                 yield from guest.shutdown()
+            elif action.action == "crash":
+                guest.crash()
             elif action.action == "unload":
                 module = self.modules.get(action.guest)
                 if module is not None:
                     yield from module.unload()
+
+    def restart_guest(self, name: str) -> Node:
+        """Re-create a crashed or shut-down guest from its spec.
+
+        The new incarnation keeps the spec's name and IP but gets a
+        fresh domid and MAC (exactly what ``xl create`` after ``xl
+        destroy`` does), so peers see a *new identity* appear in the
+        next announcement -- the old channel, if any survived, is pruned
+        by the soft-state diff, never resurrected.  A gratuitous ARP
+        re-teaches bridges and neighbour caches the name->MAC binding.
+        """
+        if self.spec is None:
+            raise ValueError("restart_guest needs a spec-built cluster")
+        gspec = mspec = None
+        for ms in self.spec.machines:
+            for gs in ms.guests:
+                if gs.name == name:
+                    gspec, mspec = gs, ms
+        if gspec is None or mspec.kind != "xen":
+            raise ValueError(f"{name!r} is not a restartable Xen guest of this spec")
+        old = self.guests.get(name)
+        if old is not None and old.alive:
+            raise ValueError(f"guest {name!r} is still alive")
+        machine = self.machines_by_name[mspec.name]
+        ips = {gs.name: ip for gs, ip in _ip_allocator(self.spec)}
+        guest = machine.create_guest(name, ip=ips[name], vcpus=gspec.vcpus)
+        self.guests[name] = guest
+        if gspec.module is not None:
+            module_cls = _module_class(gspec.module)
+            self.modules[name] = module_cls(
+                guest,
+                fifo_order=gspec.fifo_order,
+                idle_timeout=gspec.idle_timeout,
+                zero_copy_rx=gspec.zero_copy_rx,
+            )
+        guest.stack.arp.announce()
+        # Re-aim the measurement endpoints at the new incarnation.
+        if self.node_a is old:
+            self.node_a, self.ip_a = guest, guest.stack.ip
+        if self.node_b is old:
+            self.node_b, self.ip_b = guest, guest.stack.ip
+        return guest
 
     def run_churn(self, settle: float = 1.0) -> None:
         """Start the churn schedule and run the simulation through it

@@ -103,6 +103,10 @@ def engine_stats(sim, wall_s: Optional[float] = None) -> dict:
     bytes-copied counters from :data:`repro.net.packet.WIRE_STATS`.
     Those are process-global (reset with ``WIRE_STATS.reset()`` before a
     measured run), not per-simulator.
+
+    When a :class:`repro.faults.FaultPlan` is installed on the
+    simulator, a ``faults`` sub-dict carries its injected / recovered /
+    degraded counters.
     """
     from repro.net.packet import WIRE_STATS
 
@@ -111,6 +115,9 @@ def engine_stats(sim, wall_s: Optional[float] = None) -> dict:
         stats["wall_s"] = wall_s
         stats["events_per_sec"] = sim.event_count / wall_s if wall_s > 0 else 0.0
     stats["serialization"] = WIRE_STATS.snapshot()
+    plan = getattr(sim, "fault_plan", None)
+    if plan is not None:
+        stats["faults"] = plan.snapshot()
     return stats
 
 

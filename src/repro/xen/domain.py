@@ -104,5 +104,21 @@ class Domain(Node):
         self.alive = False
         self.machine.remove_domain(self)
 
+    def crash(self) -> None:
+        """Abrupt domain death (fault injection, `xl destroy`).
+
+        Unlike :meth:`shutdown`, NO registered callbacks run -- the
+        XenLoop module gets no chance to tear channels down, so peers
+        must recover through the soft-state announcement diff and the
+        hypervisor's force-revoke path.  Synchronous: the machine
+        reclaims the domain immediately (grant table dropped, all event
+        channel ports closed, vif unplugged, XenStore subtree removed).
+        """
+        if self.state == DEAD:
+            return
+        self.state = DEAD
+        self.alive = False
+        self.machine.remove_domain(self)
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Domain {self.name} id={self.domid} {self.state}>"

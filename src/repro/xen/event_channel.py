@@ -99,6 +99,9 @@ class EventChannelSubsys:
         self._exec_in_domain = exec_in_domain
         self._ports: dict[tuple[int, int], Port] = {}
         self._next_port: dict[int, itertools.count] = {}
+        #: domid -> name resolver for fault-rule matching (set by the
+        #: hypervisor; None outside a full machine).
+        self.domain_name: Optional[Callable[[int], Optional[str]]] = None
         #: 1-bit pending coalescing (real Xen semantics).  Turned off only
         #: by the coalescing ablation benchmark: every notify then incurs
         #: a full upcall.
@@ -108,15 +111,30 @@ class EventChannelSubsys:
         counter = self._next_port.setdefault(domid, itertools.count(1))
         return next(counter)
 
+    def _require_live(self, domid: int) -> None:
+        """Refuse hypercalls from a torn-down domain.
+
+        A crashed guest's in-flight kernel work keeps running in the
+        simulator (crash kills no processes), and ``close_all_for`` has
+        already reclaimed the domain's ports -- a port allocated *after*
+        that would leak forever.  Real Xen can't receive hypercalls from
+        a destroyed domain at all; raising here is the moral equivalent.
+        Skipped when no resolver is wired up (bare subsys in unit tests).
+        """
+        if self.domain_name is not None and self.domain_name(domid) is None:
+            raise EventChannelError(f"dom{domid} is not a live domain")
+
     # -- lifecycle -----------------------------------------------------
     def alloc_unbound(self, domid: int, remote_domid: int) -> Port:
         """Allocate a port in ``domid`` that ``remote_domid`` may bind to."""
+        self._require_live(domid)
         port = Port(domid, self._alloc_port_number(domid), remote_domid)
         self._ports[(domid, port.port)] = port
         return port
 
     def bind_interdomain(self, domid: int, remote_domid: int, remote_port: int) -> Port:
         """Bind a new local port to the peer's unbound port."""
+        self._require_live(domid)
         peer = self._ports.get((remote_domid, remote_port))
         if peer is None or peer.closed:
             raise EventChannelError(f"no unbound port dom{remote_domid}:{remote_port}")
@@ -168,6 +186,14 @@ class EventChannelSubsys:
             # exactly as on real Xen.
             return
         port.notifies_sent += 1
+        plan = self.sim.fault_plan
+        if plan is not None and plan.has_notify_rules:
+            # Fault tap: the send hypercall happened (counted above), but
+            # the wakeup never reaches the peer -- the drain loop's
+            # pending-bit re-check is what must recover.
+            name = self.domain_name(port.domid) if self.domain_name else None
+            if plan.notify_lost(name):
+                return
         if peer.pending and self.coalescing:
             port.notifies_coalesced += 1
             return

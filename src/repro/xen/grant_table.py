@@ -55,6 +55,10 @@ class GrantTable:
         self.grants_issued = 0
         self.maps = 0
         self.transfers = 0
+        #: fault-tap wiring, set by the hypervisor when the table belongs
+        #: to a registered domain (None for standalone tables in tests).
+        self.sim = None
+        self.name_of = None
 
     # -- granting side --------------------------------------------------
     def grant_foreign_access(self, remote_domid: int, page: Page) -> GrantRef:
@@ -90,6 +94,15 @@ class GrantTable:
     # -- mapping side (hypercalls; cost charged by caller) -----------------
     def map_grant(self, gref: GrantRef, mapper_domid: int) -> Page:
         """Map an access grant; only the named domain may (hypercall)."""
+        if self.sim is not None:
+            plan = self.sim.fault_plan
+            if plan is not None and plan.has_map_rules:
+                name = self.name_of(mapper_domid) if self.name_of else None
+                if plan.map_fails(name):
+                    raise GrantError(
+                        f"injected map failure: gref {gref} in dom{self.domid} "
+                        f"for dom{mapper_domid}"
+                    )
         entry = self._entries.get(gref)
         if entry is None:
             raise GrantError(f"no grant entry {gref} in dom{self.domid}")

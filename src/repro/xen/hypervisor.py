@@ -75,8 +75,14 @@ class Hypervisor:
         self.domains: dict[int, "Domain"] = {}
         self.grant_tables: dict[int, GrantTable] = {}
         self.evtchn = EventChannelSubsys(sim, costs, self.exec_in_domain)
+        self.evtchn.domain_name = self._domain_name
         self._next_domid = 0
         self.hypercalls = 0
+
+    def _domain_name(self, domid: int) -> "str | None":
+        """Resolve a domid to its domain name (fault-rule matching)."""
+        domain = self.domains.get(domid)
+        return domain.name if domain is not None else None
 
     def alloc_domid(self) -> int:
         """Allocate the next domain id (never reused)."""
@@ -89,7 +95,10 @@ class Hypervisor:
         if domain.domid in self.domains:
             raise ValueError(f"domid {domain.domid} already registered")
         self.domains[domain.domid] = domain
-        self.grant_tables[domain.domid] = GrantTable(domain.domid)
+        table = GrantTable(domain.domid)
+        table.sim = self.sim
+        table.name_of = self._domain_name
+        self.grant_tables[domain.domid] = table
 
     def unregister_domain(self, domain: "Domain") -> None:
         """Drop a domain's grant table and close its event channels."""

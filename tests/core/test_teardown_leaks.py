@@ -1,0 +1,84 @@
+"""Channel teardown with a non-empty waiting list.
+
+The teardown bug fixed alongside the fault injector: unloading a module
+while packets sat parked on a channel's waiting list used to strand the
+borrowed staging buffers (never returned to the module pool) and leave
+blocked senders waiting forever on a dead channel.  Teardown now
+materializes the parked ENTRY_IPV4 wire images for a netfront resend,
+releases every pooled buffer, and fails space-waiters with
+:class:`ChannelDeadError`.
+"""
+
+from repro import scenarios
+from repro.core.channel import ENTRY_IPV4, ChannelDeadError, ChannelState
+from repro.net.addr import IPv4Addr
+from repro.net.ethernet import IPPROTO_UDP
+from repro.net.packet import IPv4Header, Packet, UdpHeader
+
+from .conftest import FAST, first_channel
+
+PAYLOAD = b"parked-on-the-waiting-list"
+PORT = 7400
+
+
+def _l3_packet(src_ip, dst_ip):
+    pkt = Packet(
+        payload=PAYLOAD,
+        l4=UdpHeader(5555, PORT, 8 + len(PAYLOAD)),
+        ip=IPv4Header(
+            src=IPv4Addr(str(src_ip)), dst=IPv4Addr(str(dst_ip)), proto=IPPROTO_UDP
+        ),
+    )
+    pkt.ip.total_length = pkt.l3_len
+    return pkt
+
+
+class TestTeardownWithWaitingList:
+    def test_unload_releases_buffers_fails_waiters_and_resends(self):
+        scn = scenarios.xenloop(FAST)
+        scn.warmup(max_wait=10.0)
+        sim = scn.sim
+        module = scn.xenloop_module(scn.node_a)
+        channel = first_channel(scn, scn.node_a)
+        assert channel.state is ChannelState.CONNECTED
+
+        # The parked datagrams must still arrive after teardown, via the
+        # standard netfront resend path.
+        server = scn.node_b.stack.udp_socket(PORT)
+        received = []
+
+        def srv():
+            while True:
+                data, _ = yield from server.recvfrom()
+                received.append(data)
+
+        sim.process(srv(), name="teardown-server")
+
+        # Park three scatter-gather packets; each borrows a staging
+        # buffer from the module pool.
+        for _ in range(3):
+            parts = _l3_packet(scn.ip_a, scn.ip_b).to_l3_parts()
+            channel._park(ENTRY_IPV4, parts, sum(len(p) for p in parts))
+        assert len(channel.waiting_list) == 3
+        assert module.staging_pool.outstanding == 3
+
+        # And one sender blocked on waiting-list space (the bypass
+        # variant's flow control): it must be failed, not stranded.
+        failures = []
+
+        def blocked_sender():
+            try:
+                yield channel.wait_waiting_space()
+            except ChannelDeadError as exc:
+                failures.append(exc)
+
+        sim.process(blocked_sender(), name="blocked-sender")
+
+        proc = sim.process(module.unload(), name="unload")
+        sim.run_until_complete(proc, timeout=30.0)
+        sim.run(until=sim.now + 1.0)
+
+        assert not channel.waiting_list
+        assert module.staging_pool.outstanding == 0
+        assert len(failures) == 1
+        assert received == [PAYLOAD] * 3

@@ -65,7 +65,8 @@ class TestReassembler:
         r.add(make_fragment(sim, 9, 0, bytes(16), True))  # never completed
         assert r.pending == 1
         sim.run(until=FRAG_TIMEOUT + 1)
-        # purge happens lazily on the next completed reassembly
+        # purge happens on the next fragment arrival (any fragment --
+        # see tests/net/test_leak_fixes.py for the incomplete-add case)
         from repro.net.packet import UdpHeader
 
         body = UdpHeader(1, 2, 8 + 8).to_bytes() + bytes(8)

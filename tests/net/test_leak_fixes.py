@@ -1,0 +1,74 @@
+"""Regression tests for the soft-state leak fixes.
+
+Two leaks fixed alongside the fault injector live at the net layer:
+
+* the IPv4 reassembler used to age out stale fragment buffers only when
+  a later datagram *completed*, so a host receiving nothing but
+  incomplete flows accumulated buffers forever -- the purge now runs on
+  EVERY fragment arrival;
+* a timed-out ARP resolve used to leave its waiter event registered in
+  ``NeighborCache._waiters``, growing the list without bound for
+  never-resolving addresses -- each failed attempt now retracts it.
+"""
+
+from repro.net.addr import IPv4Addr
+from repro.net.arp import ARP_RETRIES, ARP_TIMEOUT
+from repro.net.ipv4 import FRAG_TIMEOUT, Reassembler
+
+from tests.conftest import run_gen
+
+from .test_ipv4_edges import make_fragment
+
+
+class TestReassemblerPurgeOnAdd:
+    def test_stale_buffer_purged_by_incomplete_fragment(self, sim):
+        r = Reassembler(sim)
+        assert r.add(make_fragment(sim, 21, 0, bytes(16), True)) is None
+        assert r.pending == 1
+        sim.run(until=sim.now + FRAG_TIMEOUT + 1)
+        # A later fragment that does NOT complete a datagram must still
+        # age the stale buffer out.  (The old lazy purge ran only on a
+        # completed reassembly, so incomplete-only traffic leaked.)
+        assert r.add(make_fragment(sim, 22, 0, bytes(16), True)) is None
+        assert r.timed_out == 1
+        assert r.pending == 1  # only the fresh buffer survives
+
+    def test_fresh_buffers_survive_the_purge(self, sim):
+        r = Reassembler(sim)
+        assert r.add(make_fragment(sim, 23, 0, bytes(16), True)) is None
+        sim.run(until=sim.now + FRAG_TIMEOUT / 2)
+        assert r.add(make_fragment(sim, 24, 0, bytes(16), True)) is None
+        assert r.timed_out == 0
+        assert r.pending == 2
+
+
+class TestArpWaiterRetraction:
+    def test_failed_resolve_leaves_no_waiters(self, sim, lan):
+        a, _b, _switch = lan
+        mac = run_gen(sim, a.stack.arp.resolve(IPv4Addr("10.0.0.99")))
+        assert mac is None
+        assert a.stack.arp.failures == 1
+        assert a.stack.arp.requests_sent == ARP_RETRIES
+        assert a.stack.arp._waiters == {}
+        # Total wall time matches the kernel-ish probe schedule.
+        assert sim.now >= ARP_RETRIES * ARP_TIMEOUT
+
+    def test_concurrent_failed_resolvers_all_retract(self, sim, lan):
+        a, _b, _switch = lan
+        results = []
+
+        def resolve():
+            mac = yield from a.stack.arp.resolve(IPv4Addr("10.0.0.88"))
+            results.append(mac)
+
+        sim.process(resolve(), name="resolver-1")
+        sim.process(resolve(), name="resolver-2")
+        sim.run(until=sim.now + ARP_RETRIES * ARP_TIMEOUT + 1.0)
+        assert results == [None, None]
+        assert a.stack.arp._waiters == {}
+
+    def test_successful_resolve_leaves_no_waiters(self, sim, lan):
+        a, b, _switch = lan
+        mac = run_gen(sim, a.stack.arp.resolve(b.stack.ip))
+        assert mac == b.stack.primary_device().mac
+        assert a.stack.arp._waiters == {}

@@ -1,0 +1,146 @@
+"""Unit tests for the deterministic fault-injection plan."""
+
+import pytest
+
+from repro import faults
+from repro.sim.engine import Simulator
+
+
+class TestRuleValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            faults.FaultRule("meteor_strike")
+
+    def test_prob_out_of_range(self):
+        with pytest.raises(ValueError, match="prob"):
+            faults.FaultRule(faults.CONTROL_DROP, prob=1.5)
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError, match="phase"):
+            faults.FaultRule(faults.CRASH, phase="warp")
+
+    def test_migrate_needs_target(self):
+        with pytest.raises(ValueError, match="to_machine"):
+            faults.FaultRule(faults.MIGRATE, phase="connected")
+
+    def test_phase_kinds_need_phase(self):
+        with pytest.raises(ValueError, match="needs a phase"):
+            faults.FaultRule(faults.CRASH)
+
+
+class TestGating:
+    def test_skip_then_times(self):
+        plan = faults.FaultPlan(
+            (faults.FaultRule(faults.NOTIFY_DROP, skip=2, times=3),)
+        )
+        fired = [plan.notify_lost("vm1") for _ in range(8)]
+        assert fired == [False, False, True, True, True, False, False, False]
+        assert plan.injected[faults.NOTIFY_DROP] == 3
+
+    def test_times_none_is_unlimited(self):
+        plan = faults.FaultPlan((faults.FaultRule(faults.MAP_FAIL, times=None),))
+        assert all(plan.map_fails("vm1") for _ in range(20))
+
+    def test_guest_filter(self):
+        plan = faults.FaultPlan(
+            (faults.FaultRule(faults.NOTIFY_DROP, guest="vm2", times=None),)
+        )
+        assert not plan.notify_lost("vm1")
+        assert plan.notify_lost("vm2")
+        assert not plan.notify_lost(None)
+
+    def test_prob_draws_are_seed_deterministic(self):
+        def draws(seed):
+            plan = faults.FaultPlan(
+                (faults.FaultRule(faults.NOTIFY_DROP, prob=0.5, times=None),),
+                seed=seed,
+            )
+            return [plan.notify_lost("vm1") for _ in range(64)]
+
+        assert draws(7) == draws(7)
+        assert draws(7) != draws(8)
+        assert any(draws(7)) and not all(draws(7))
+
+    def test_control_rules_compose(self):
+        plan = faults.FaultPlan(
+            (
+                faults.FaultRule(faults.CONTROL_DELAY, message="Announce", delay=0.01),
+                faults.FaultRule(faults.CONTROL_DELAY, message="Announce", delay=0.02),
+                faults.FaultRule(faults.CONTROL_DUP, message="Announce"),
+            )
+        )
+        deliver, delay, dup = plan.on_control("dom0", "Announce")
+        assert deliver
+        assert delay == pytest.approx(0.03)
+        assert dup == 1
+        # Message-type filter: other frames pass untouched.
+        assert plan.on_control("dom0", "CreateChannel") == (True, 0.0, 0)
+
+    def test_drop_wins_over_delay(self):
+        plan = faults.FaultPlan(
+            (
+                faults.FaultRule(faults.CONTROL_DROP, message="ChannelAck"),
+                faults.FaultRule(faults.CONTROL_DELAY, message="ChannelAck", delay=0.5),
+            )
+        )
+        deliver, _delay, _dup = plan.on_control("vm1", "ChannelAck")
+        assert not deliver
+
+
+class TestInstallAndSnapshot:
+    def test_install_sets_sim_attribute(self):
+        sim = Simulator(seed=0)
+        plan = faults.FaultPlan().install(sim)
+        assert faults.plan_of(sim) is plan
+
+    def test_snapshot_shape(self):
+        plan = faults.FaultPlan((faults.FaultRule(faults.NOTIFY_DROP),))
+        plan.notify_lost("vm1")
+        snap = plan.snapshot()
+        assert snap == {
+            "rules": 1,
+            "injected": {faults.NOTIFY_DROP: 1},
+            "recovered": {},
+            "degraded": {},
+        }
+
+    def test_notes_are_noops_without_plan(self):
+        sim = Simulator(seed=0)
+        faults.note_recovered(sim, "bootstrap_retry")
+        faults.note_degraded(sim, "bootstrap_abort")
+        assert faults.plan_of(sim) is None
+
+    def test_notes_accumulate_with_plan(self):
+        sim = Simulator(seed=0)
+        plan = faults.FaultPlan().install(sim)
+        faults.note_recovered(sim, "fallback_resend", 3)
+        faults.note_degraded(sim, "bootstrap_abort")
+        assert plan.recovered["fallback_resend"] == 3
+        assert plan.degraded["bootstrap_abort"] == 1
+
+    def test_engine_stats_surface_counters(self):
+        from repro import trace
+
+        sim = Simulator(seed=0)
+        stats = trace.engine_stats(sim)
+        assert "faults" not in stats
+        faults.FaultPlan((faults.FaultRule(faults.MAP_FAIL),)).install(sim)
+        stats = trace.engine_stats(sim)
+        assert stats["faults"]["rules"] == 1
+
+    def test_format_engine_stats_renders_faults_line(self):
+        from repro import report
+
+        stats = {
+            "events": 10,
+            "faults": {
+                "rules": 2,
+                "injected": {"control_drop": 1},
+                "recovered": {"bootstrap_retry": 1},
+                "degraded": {},
+            },
+        }
+        out = report.format_engine_stats(stats)
+        assert "faults:" in out
+        assert "control_drop=1" in out
+        assert "bootstrap_retry=1" in out
