@@ -33,6 +33,7 @@ import time
 from repro import report, scenarios, trace
 from repro.net.packet import WIRE_STATS
 from repro.workloads import netperf
+from repro.xen.event_channel import NOTIFY_STATS
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_engine.json"
@@ -102,6 +103,7 @@ def run(
     best = None
     for _ in range(max(1, reps)):
         WIRE_STATS.reset()  # count serialization work for this rep only
+        NOTIFY_STATS.reset()  # and notify/suppression work likewise
         t0 = time.perf_counter()
         scn = scenarios.build(scenario)
         result = netperf.udp_stream(scn, msg_size=msg_size, duration=duration)
@@ -125,6 +127,7 @@ def run(
             "drops": result.drops,
         },
         "serialization": stats["serialization"],
+        "notify": stats["notify"],
     }
     history = _load_history(output)
     history.append(entry)

@@ -137,6 +137,12 @@ class CostModel:
     xenloop_lookup: float = 0.15e-6
     #: FIFO push/pop bookkeeping per packet (indices, metadata).
     xenloop_fifo_op: float = 0.3e-6
+    #: NAPI-style weight of the channel's drain worker: max FIFO entries
+    #: popped (and delivered) per charged batch before the worker yields
+    #: the CPU segment.  Bounds the latency distortion of batched cost
+    #: charging and caps how long the consumer runs with notifications
+    #: disarmed (the CONSUMER_WAITING bit stays clear while draining).
+    xenloop_napi_budget: int = 64
     #: domain-discovery scan period in Dom0 (seconds); paper: 5 s.
     discovery_period: float = 5.0
     #: zero-copy-receive ablation only: how long FIFO slots stay held

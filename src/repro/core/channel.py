@@ -33,6 +33,7 @@ from repro.core.control import ChannelController, ChannelState, LifecycleHooks
 from repro.core.fifo import Fifo, fifo_pages_for_order
 from repro.core.protocol import CreateChannel
 from repro.net.packet import Packet
+from repro.xen.event_channel import NOTIFY_STATS
 from repro.xen.grant_table import GrantError
 from repro.xen.page import SharedRegion
 
@@ -114,9 +115,23 @@ class Channel(LifecycleHooks):
         self.pkts_received = 0
         self.bytes_received = 0
         self.notifies = 0
+        #: sends whose data-available notify was skipped because the
+        #: receiver had not advertised CONSUMER_WAITING.
+        self.notifies_suppressed = 0
+        #: drain-worker batched-pop counters (NAPI budget accounting).
+        self.drain_batches = 0
+        self.drain_entries = 0
         #: simulated time of the last packet in either direction (used by
         #: the module's optional idle-channel reaper).
         self.last_activity = self.guest.sim.now
+
+        # Per-channel stats registry for trace.engine_stats: one list on
+        # the simulator, in creation order (deterministic).
+        sim = self.guest.sim
+        registry = getattr(sim, "_xenloop_channels", None)
+        if registry is None:
+            registry = sim._xenloop_channels = []
+        registry.append(self)
 
     @property
     def state(self) -> ChannelState:
@@ -241,7 +256,7 @@ class Channel(LifecycleHooks):
         """Whether a payload of ``nbytes`` can ever fit the outgoing FIFO."""
         return self.out_fifo is not None and self.out_fifo.fits(nbytes)
 
-    def send_packet(self, packet: Packet):
+    def send_packet(self, packet: Packet, precharge: float = 0.0):
         """Copy one L3 packet into the outgoing FIFO (generator, sender
         context).  Returns True when the channel took the packet (into
         the FIFO or onto the waiting list, flushed on space-available
@@ -253,7 +268,9 @@ class Channel(LifecycleHooks):
         valid) written straight into the ring -- no joined intermediate
         bytes object on this path."""
         trace.mark(packet, "xenloop-fifo-push", self.guest.sim.now)
-        taken = yield from self.send_entry_parts(ENTRY_IPV4, packet.to_l3_parts())
+        taken = yield from self.send_entry_parts(
+            ENTRY_IPV4, packet.to_l3_parts(), precharge
+        )
         return taken
 
     def send_entry(self, msg_type: int, data: bytes):
@@ -262,18 +279,30 @@ class Channel(LifecycleHooks):
         taken = yield from self.send_entry_parts(msg_type, (data,))
         return taken
 
-    def send_entry_parts(self, msg_type: int, parts):
+    def send_entry_parts(self, msg_type: int, parts, precharge: float = 0.0):
         """Copy one typed entry -- given as a sequence of buffer views
         forming its wire format -- into the outgoing FIFO (generator,
         sender context).  The base module sends ENTRY_IPV4 packets; the
         experimental socket-bypass variant sends ENTRY_STREAM frames.
+        ``precharge`` is extra caller-side CPU work (e.g. the module's
+        hash-table lookup) folded into the entry's first charge so the
+        combination costs one calendar entry instead of two.
 
         The shared ACTIVE flag is re-checked right before the copy: a
         peer tearing down (migration, shutdown) clears it in the shared
         descriptor page, and anything we would push after its final
         drain would be lost.  Checking flag-then-push without an
         intervening yield point mirrors the real module's
-        check-under-the-producer-lock."""
+        check-under-the-producer-lock.
+
+        Notification suppression (RING_PUSH_REQUESTS_AND_CHECK_NOTIFY
+        shape): after the push lands, the receiver's CONSUMER_WAITING
+        flag in the shared descriptor is read -- with no yield point in
+        between, so the check pairs atomically against the receiver's
+        arm-then-recheck -- and the notify hypercall is issued only when
+        the flag is armed.  The flag is the receiver's to clear; a
+        fault-injected lost notify leaves it armed, so the next push
+        retries."""
         guest = self.guest
         costs = guest.costs
         if not self._usable():
@@ -281,20 +310,7 @@ class Channel(LifecycleHooks):
         nbytes = 0
         for part in parts:
             nbytes += len(part)
-        # Batched charging: when the entry will clearly fit, the FIFO
-        # bookkeeping, the copy, and the notify hypercall are charged as
-        # ONE CPU segment (one calendar entry instead of three).  The
-        # prediction can only be wrong when another sender process races
-        # us during the charge; the slow path below recovers.
-        out_fifo = self.out_fifo
-        will_notify = (
-            not self.waiting_list
-            and out_fifo.free_slots >= out_fifo.slots_needed(nbytes)
-        )
-        cost = costs.xenloop_fifo_op + costs.copy_cost(nbytes)
-        if will_notify:
-            cost += costs.evtchn_send
-        yield guest.exec(cost)
+        yield guest.exec(precharge + costs.xenloop_fifo_op + costs.copy_cost(nbytes))
         if not self._usable():
             return False
         if self.waiting_list:
@@ -302,14 +318,22 @@ class Channel(LifecycleHooks):
             self._park(msg_type, parts, nbytes)
             self.out_fifo.set_producer_waiting()
             return True
-        if self.out_fifo.push_vec(parts, msg_type):
+        out_fifo = self.out_fifo
+        if out_fifo.push_vec(parts, msg_type):
             self.pkts_sent += 1
             self.bytes_sent += nbytes
             self.last_activity = guest.sim.now
-            if not will_notify:
+            if out_fifo.consumer_waiting:
+                self.notifies += 1
+                NOTIFY_STATS.fifo_notifies += 1
                 yield guest.exec(costs.evtchn_send)
-            self.notifies += 1
-            guest.machine.hypervisor.evtchn.notify(self.port)
+                if self.port is not None and not self.port.closed:
+                    guest.machine.hypervisor.evtchn.notify(self.port)
+            else:
+                self.notifies_suppressed += 1
+                NOTIFY_STATS.fifo_suppressed += 1
+                if self.port is not None:
+                    self.port.notifies_suppressed += 1
         else:
             self._park(msg_type, parts, nbytes)
             self.out_fifo.set_producer_waiting()
@@ -346,9 +370,11 @@ class Channel(LifecycleHooks):
 
         The whole flush is charged as ONE CPU segment: one fifo-op per
         push attempt (including the final failed one), one copy per entry
-        actually pushed, plus the single space-available notify -- the
-        same total cost as charging each step separately, in one calendar
-        entry.
+        actually pushed, plus -- when the receiver has armed its waiting
+        flag -- the single data-available notify.  Same total cost as
+        charging each step separately, in one calendar entry.  The
+        notify decision is made right after the pushes (no yield point),
+        like :meth:`send_entry_parts`.
         """
         guest = self.guest
         costs = guest.costs
@@ -371,9 +397,18 @@ class Channel(LifecycleHooks):
             pushed = True
         if pushed:
             self.last_activity = guest.sim.now
-            yield guest.exec(cost + costs.evtchn_send)
-            self.notifies += 1
-            guest.machine.hypervisor.evtchn.notify(self.port)
+            if self.out_fifo.consumer_waiting:
+                self.notifies += 1
+                NOTIFY_STATS.fifo_notifies += 1
+                yield guest.exec(cost + costs.evtchn_send)
+                if self.port is not None and not self.port.closed:
+                    guest.machine.hypervisor.evtchn.notify(self.port)
+            else:
+                self.notifies_suppressed += 1
+                NOTIFY_STATS.fifo_suppressed += 1
+                if self.port is not None:
+                    self.port.notifies_suppressed += 1
+                yield guest.exec(cost)
             self._wake_waiting_space()
         elif cost:
             yield guest.exec(cost)
@@ -406,7 +441,16 @@ class Channel(LifecycleHooks):
 
     # -- receive side ---------------------------------------------------
     def _on_event(self) -> None:
-        """Event-channel upcall (already charged virq_entry)."""
+        """Event-channel upcall (already charged virq_entry).
+
+        CONSUMER_WAITING is cleared here, at delivery, not when the
+        drain worker actually resumes: the kick below guarantees a full
+        drain pass, so peer pushes landing in the meantime can already
+        suppress their notifies.
+        """
+        in_fifo = self.in_fifo
+        if in_fifo is not None:
+            in_fifo.clear_consumer_waiting()
         if not self._drain_kick.triggered:
             self._drain_kick.succeed()
 
@@ -414,15 +458,30 @@ class Channel(LifecycleHooks):
         if self._drain_worker is None:
             self._drain_worker = self.guest.spawn(self._drain_loop(), name="xl-drain")
 
-    #: max entries popped per charged burst in the drain worker; bounds
-    #: the latency distortion from charging a burst's copies as one
-    #: segment (cost total is exact -- copy_cost is linear in bytes).
-    DRAIN_BURST = 64
-
     def _drain_loop(self):
+        """NAPI-style receive worker.
+
+        On wakeup the shared CONSUMER_WAITING flag is (already) clear;
+        the FIFO is drained in budget-bounded batches -- one aggregated
+        CPU charge per batch -- with peer pushes during the drain
+        suppressing their notifies.  Before sleeping the worker re-arms
+        the flag and then makes the final occupancy re-check: a push
+        that read the flag as clear necessarily landed before the
+        re-check (both sides' flag/occupancy steps have no yield point
+        between them), so no entry is ever stranded until the idle
+        reaper fires.
+        """
         guest = self.guest
         costs = guest.costs
+        #: NAPI budget: max entries popped per charged batch; bounds the
+        #: latency distortion from charging a batch's copies as one
+        #: segment (cost total is exact -- copy_cost is linear in bytes).
+        budget = costs.xenloop_napi_budget
         while self.state is ChannelState.CONNECTED:
+            in_fifo = self.in_fifo
+            if in_fifo is None:
+                return
+            in_fifo.clear_consumer_waiting()
             drained = 0
             while True:
                 if self.zero_copy_rx:
@@ -431,12 +490,12 @@ class Channel(LifecycleHooks):
                         break
                     drained += 1
                     continue
-                # Pop a burst, charge ONE aggregated segment for the
-                # FIFO bookkeeping + copies, then deliver the burst.
+                # Pop a batch, charge ONE aggregated segment for the
+                # FIFO bookkeeping + copies, then deliver the batch.
                 burst = []
                 cost = 0.0
                 in_fifo = self.in_fifo
-                while len(burst) < self.DRAIN_BURST:
+                while len(burst) < budget:
                     entry = in_fifo.pop()
                     if entry is None:
                         break
@@ -444,6 +503,10 @@ class Channel(LifecycleHooks):
                     cost += costs.xenloop_fifo_op + costs.copy_cost(len(entry[1]))
                 if not burst:
                     break
+                self.drain_batches += 1
+                self.drain_entries += len(burst)
+                NOTIFY_STATS.drain_batches += 1
+                NOTIFY_STATS.drain_entries += len(burst)
                 yield guest.exec(cost)
                 now = guest.sim.now
                 self.last_activity = now
@@ -461,9 +524,12 @@ class Channel(LifecycleHooks):
                         self.bytes_received += len(data)
                         self.stream_handler(data)
                 drained += len(burst)
-            # Space-available notification for a waiting producer.
+            # Space-available notification for a waiting producer --
+            # unconditional: the peer parked entries and is expecting it.
             if drained and self.in_fifo.producer_waiting:
                 self.in_fifo.clear_producer_waiting()
+                self.notifies += 1
+                NOTIFY_STATS.fifo_notifies += 1
                 yield guest.exec(costs.evtchn_send)
                 guest.machine.hypervisor.evtchn.notify(self.port)
             # Our own waiting list may be flushable now.
@@ -473,6 +539,15 @@ class Channel(LifecycleHooks):
             if not self.in_fifo.active or not self.out_fifo.active:
                 yield from self.ctrl.peer_fin()
                 return
+            # Re-arm, then the final pre-sleep occupancy re-check: an
+            # entry pushed while we were draining (its notify suppressed)
+            # must be found NOW, not when the idle reaper fires.
+            in_fifo = self.in_fifo
+            if in_fifo is None:
+                return
+            in_fifo.set_consumer_waiting()
+            if not in_fifo.is_empty:
+                continue  # loop top clears the flag and drains
             self._drain_kick = guest.sim.event(name="xl-drain-kick")
             yield self._drain_kick
 

@@ -13,9 +13,12 @@ Faithful to the paper's construction:
   count is always ``(back - front) mod 2^m`` because ``m > k`` keeps
   the two counters within ``2^k <= 2^m`` of each other;
 * the descriptor page also carries the channel state flags
-  (``ACTIVE``, set at creation, cleared at teardown) and the
+  (``ACTIVE``, set at creation, cleared at teardown), the
   ``PRODUCER_WAITING`` bit used to ask the consumer for a
-  space-available notification;
+  space-available notification, and the ``CONSUMER_WAITING`` bit the
+  consumer arms before sleeping so the producer can suppress the notify
+  hypercall while the consumer is known to be awake (the FIFO analogue
+  of the ring protocol's event index);
 * in the real module the indices live in the shared descriptor page and
   are read/written by two kernel instances; here the descriptor page is
   a numpy view over genuinely shared :class:`~repro.xen.page.SharedRegion`
@@ -51,6 +54,7 @@ MAGIC = 0x58454E4C  # "XENL"
 
 FLAG_ACTIVE = 0x1
 FLAG_PRODUCER_WAITING = 0x2
+FLAG_CONSUMER_WAITING = 0x4
 
 #: byte offset inside the descriptor page where the grant references of
 #: the data pages are stored (the bootstrap create_channel message only
@@ -165,6 +169,27 @@ class Fifo:
     def clear_producer_waiting(self) -> None:
         """Acknowledge the space request (consumer side)."""
         self._desc[_FLAGS_WORD] = int(self._desc[_FLAGS_WORD]) & ~FLAG_PRODUCER_WAITING
+
+    @property
+    def consumer_waiting(self) -> bool:
+        """Shared flag: the consumer is (about to be) blocked and wants a
+        data-available notification.  While clear, the producer may skip
+        the notify hypercall entirely -- the consumer is awake and will
+        find the entry on its final pre-sleep occupancy re-check."""
+        return bool(self._desc[_FLAGS_WORD] & FLAG_CONSUMER_WAITING)
+
+    def set_consumer_waiting(self) -> None:
+        """Arm data-available notifications (consumer side, pre-sleep).
+
+        Only the consumer ever sets or clears this bit: a producer that
+        finds it set keeps notifying on every push until the consumer
+        wakes and clears it, which is what makes a single lost notify
+        recoverable by the next push."""
+        self._desc[_FLAGS_WORD] = int(self._desc[_FLAGS_WORD]) | FLAG_CONSUMER_WAITING
+
+    def clear_consumer_waiting(self) -> None:
+        """Disarm data-available notifications (consumer side, on wake)."""
+        self._desc[_FLAGS_WORD] = int(self._desc[_FLAGS_WORD]) & ~FLAG_CONSUMER_WAITING
 
     # -- capacity -------------------------------------------------------------
     @property

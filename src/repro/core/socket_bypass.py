@@ -105,10 +105,20 @@ class BypassConnection:
         if self.state != "ESTABLISHED":
             raise BypassError(f"send on {self.state} bypass stream")
         node = self.guest
-        yield node.exec(node.costs.syscall + node.costs.socket_layer)
+        # The syscall + socket-layer cost rides as a precharge on the
+        # first frame's FIFO charge (one calendar entry instead of two);
+        # it is charged standalone only when there is no frame to carry
+        # it or the sender blocks on flow control first.
+        precharge = node.costs.syscall + node.costs.socket_layer
+        if not data:
+            yield node.exec(precharge)
+            return 0
         offset = 0
         while offset < len(data):
             while self.channel.waiting_bytes > WAITING_LIST_CAP:
+                if precharge:
+                    yield node.exec(precharge)
+                    precharge = 0.0
                 try:
                     yield self.channel.wait_waiting_space()
                 except ChannelDeadError as exc:
@@ -117,8 +127,10 @@ class BypassConnection:
                     raise BypassError("bypass stream died while sending")
             chunk = data[offset : offset + MAX_FRAME_PAYLOAD]
             taken = yield from self.module.send_stream_frame(
-                self.channel, self.stream_id, KIND_DATA, self.port, chunk
+                self.channel, self.stream_id, KIND_DATA, self.port, chunk,
+                precharge=precharge,
             )
+            precharge = 0.0
             if not taken:
                 raise BypassError("channel torn down mid-stream")
             self.bytes_sent += len(chunk)
@@ -279,14 +291,23 @@ class SocketBypassModule(XenLoopModule):
         return sid
 
     # -- frame plumbing --------------------------------------------------
-    def send_stream_frame(self, channel: Channel, stream_id: int, kind: int, port: int, payload: bytes):
+    def send_stream_frame(
+        self,
+        channel: Channel,
+        stream_id: int,
+        kind: int,
+        port: int,
+        payload: bytes,
+        precharge: float = 0.0,
+    ):
         """Push one stream frame onto the channel (generator).
 
         Scatter-gather: the frame header and the payload chunk go into
         the FIFO as two views -- the application bytes are copied once,
-        straight into the ring."""
+        straight into the ring.  ``precharge`` is extra caller-side CPU
+        work folded into the frame's first charge."""
         taken = yield from channel.send_entry_parts(
-            ENTRY_STREAM, (_FRAME.pack(stream_id, kind, port), payload)
+            ENTRY_STREAM, (_FRAME.pack(stream_id, kind, port), payload), precharge
         )
         return taken
 

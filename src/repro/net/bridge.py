@@ -62,6 +62,8 @@ class Bridge:
         self._fdb: dict[MacAddr, BridgePort] = {}
         self.frames_forwarded = 0
         self.frames_flooded = 0
+        # One forwarding process is spawned per frame; format its name once.
+        self._fwd_pname = f"{dom0.name}:bridge-fwd"
 
     def add_port(self, port: BridgePort) -> None:
         """Attach a port (vif netback or NIC uplink) to the bridge."""
@@ -86,7 +88,7 @@ class Bridge:
         ``in_port=None`` means the frame was injected by Dom0 itself
         (e.g. a discovery announcement).
         """
-        self.dom0.spawn(self.forward(in_port, packet), name="bridge-fwd")
+        self.dom0.sim.process(self.forward(in_port, packet), self._fwd_pname)
 
     def forward(self, in_port: Optional[BridgePort], packet: Packet):
         """Forward one frame (generator, Dom0 context)."""

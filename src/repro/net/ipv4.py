@@ -141,12 +141,16 @@ class Ipv4Layer:
         dev, next_hop = self.route(dst)
         ident = self._next_ident
         self._next_ident = (self._next_ident + 1) & 0xFFFF or 1
-        hdr = IPv4Header(src=self.stack.ip, dst=dst, proto=proto, ident=ident)
+        hdr = IPv4Header.fresh(src=self.stack.ip, dst=dst, proto=proto, ident=ident)
         packet = Packet(payload=payload, l4=l4, ip=hdr)
         packet.ip.total_length = packet.l3_len
         packet.meta["ts_ip_out"] = node.sim.now
 
-        verdict = yield from self.stack.netfilter.run(HookPoint.POST_ROUTING, packet, dev)
+        netfilter = self.stack.netfilter
+        if netfilter.active(HookPoint.POST_ROUTING):
+            verdict = yield from netfilter.run(HookPoint.POST_ROUTING, packet, dev)
+        else:
+            verdict = Verdict.ACCEPT
         if verdict is Verdict.STOLEN:
             self.tx_packets += 1
             return True
@@ -156,7 +160,7 @@ class Ipv4Layer:
 
         if next_hop is None:
             # Local delivery via loopback.
-            packet.eth = EthHeader(dst=dev.mac, src=dev.mac, ethertype=ETH_P_IP)
+            packet.eth = EthHeader.fresh(dst=dev.mac, src=dev.mac, ethertype=ETH_P_IP)
             yield node.exec(dev.tx_cost(packet))
             yield dev.queue_xmit(packet)
             self.tx_packets += 1
@@ -173,7 +177,7 @@ class Ipv4Layer:
 
         gso_ok = dev.gso and isinstance(packet.l4, TcpHeader)
         if packet.l3_len - IPv4Header.HEADER_LEN <= dev.mtu or gso_ok:
-            packet.eth = EthHeader(dst=dst_mac, src=dev.mac, ethertype=ETH_P_IP)
+            packet.eth = EthHeader.fresh(dst=dst_mac, src=dev.mac, ethertype=ETH_P_IP)
             yield node.exec(dev.tx_cost(packet))
             yield dev.queue_xmit(packet)
             self.tx_packets += 1
@@ -189,7 +193,7 @@ class Ipv4Layer:
             fhdr = hdr.replaced(frag_offset=offset, more_frags=more)
             frag = Packet(payload=chunk, ip=fhdr)
             frag.ip.total_length = frag.l3_len
-            frag.eth = EthHeader(dst=dst_mac, src=dev.mac, ethertype=ETH_P_IP)
+            frag.eth = EthHeader.fresh(dst=dst_mac, src=dev.mac, ethertype=ETH_P_IP)
             frag.meta["ts_ip_out"] = node.sim.now
             yield node.exec(costs.ip_fragment + dev.tx_cost(frag))
             yield dev.queue_xmit(frag)
@@ -209,11 +213,13 @@ class Ipv4Layer:
             self.dropped += 1
             return
 
-        verdict = yield from self.stack.netfilter.run(HookPoint.PRE_ROUTING, packet, dev)
-        if verdict is not Verdict.ACCEPT:
-            if verdict is Verdict.DROP:
-                self.dropped += 1
-            return
+        netfilter = self.stack.netfilter
+        if netfilter.active(HookPoint.PRE_ROUTING):
+            verdict = yield from netfilter.run(HookPoint.PRE_ROUTING, packet, dev)
+            if verdict is not Verdict.ACCEPT:
+                if verdict is Verdict.DROP:
+                    self.dropped += 1
+                return
 
         if packet.ip.dst != self.stack.ip:
             # Hosts are not routers in this model.

@@ -68,6 +68,15 @@ class NetfilterRegistry:
         """Number of hooks registered at ``point``."""
         return len(self._hooks[point])
 
+    def active(self, point: HookPoint) -> bool:
+        """True when at least one hook is registered at ``point``.
+
+        Lets per-frame call sites skip :meth:`run` entirely (generator
+        creation plus a defensive chain copy) when the chain is empty --
+        the common case for PRE_ROUTING.
+        """
+        return bool(self._hooks[point])
+
     def run(self, point: HookPoint, packet, dev):
         """Run the chain (generator).  Returns the final verdict."""
         for _prio, fn in list(self._hooks[point]):

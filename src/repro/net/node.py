@@ -8,6 +8,7 @@ make up its "kernel" and applications.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.calibration import CostModel
@@ -40,8 +41,20 @@ class Node:
         self.sched_key = sched_key if sched_key is not None else name
         self.stack: "NetworkStack | None" = None
         self.alive = True
+        self._bind_cpus(cpus)
 
-    def exec(self, cost: float) -> Event:
+    def _bind_cpus(self, cpus: CPUCores) -> None:
+        """(Re)bind :meth:`exec` as a partial over ``cpus.execute``.
+
+        ``exec`` is the single hottest call in the simulation; the
+        C-level partial skips one Python frame per CPU charge.  Must be
+        re-called whenever the node moves to different cores (migration
+        -- see ``Machine.adopt_domain``).
+        """
+        self.cpus = cpus
+        self.exec = partial(cpus.execute, self.sched_key)
+
+    def exec(self, cost: float) -> Event:  # overridden per-instance by _bind_cpus
         """Charge ``cost`` seconds of CPU to this node; event fires when done."""
         return self.cpus.execute(self.sched_key, cost)
 

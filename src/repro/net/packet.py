@@ -37,6 +37,7 @@ Conventions:
 
 from __future__ import annotations
 
+import dataclasses
 import struct
 from dataclasses import dataclass
 from typing import Any, Optional, Union
@@ -119,6 +120,11 @@ class WireStats:
 WIRE_STATS = WireStats()
 
 
+#: per-class default field values for :meth:`_CachedHeader.fresh`,
+#: materialized lazily on first use.
+_HEADER_DEFAULTS: dict[type, dict] = {}
+
+
 class _CachedHeader:
     """Mixin for wire headers: version-counted fields + packed cache.
 
@@ -152,6 +158,33 @@ class _CachedHeader:
     def wire_version(self) -> int:
         """Monotonic counter bumped on every field assignment."""
         return self.__dict__.get("_v", 0)
+
+    @classmethod
+    def fresh(cls, **fields):
+        """Construct a header bypassing the per-field ``__setattr__``.
+
+        Hot-path allocator: equivalent to calling the dataclass
+        ``__init__`` (same defaults, no ``__post_init__`` on any of
+        these classes) but fills the instance dict with two bulk
+        updates instead of one version-bumping ``__setattr__`` per
+        field.  Required fields missing from ``fields`` surface as
+        ``AttributeError`` on first access rather than ``TypeError``
+        here, so this is for internal call sites only.
+        """
+        base = _HEADER_DEFAULTS.get(cls)
+        if base is None:
+            base = _HEADER_DEFAULTS[cls] = {
+                f.name: f.default
+                for f in dataclasses.fields(cls)
+                if f.default is not dataclasses.MISSING
+            }
+        hdr = cls.__new__(cls)
+        d = hdr.__dict__
+        d.update(base)
+        d.update(fields)
+        d["_packed"] = None
+        d["_v"] = 1
+        return hdr
 
     def replaced(self, **changes):
         """Copy with fields changed -- a fast ``dataclasses.replace``.
@@ -196,7 +229,9 @@ class EthHeader(_CachedHeader):
     def from_bytes(cls, data: bytes) -> "EthHeader":
         """Parse the 14-byte wire format."""
         dst, src, ethertype = struct.unpack_from(cls._FMT, data)
-        return cls(MacAddr.from_bytes(dst), MacAddr.from_bytes(src), ethertype)
+        return cls.fresh(
+            dst=MacAddr.from_bytes(dst), src=MacAddr.from_bytes(src), ethertype=ethertype
+        )
 
 
 @dataclass
@@ -290,7 +325,7 @@ class IPv4Header(_CachedHeader):
     def from_bytes(cls, data: bytes) -> "IPv4Header":
         """Parse the 20-byte wire format."""
         total_length, ident, frag_word, ttl, proto, src, dst = struct.unpack_from(cls._FMT, data)
-        return cls(
+        return cls.fresh(
             src=IPv4Addr.from_bytes(src),
             dst=IPv4Addr.from_bytes(dst),
             proto=proto,
@@ -323,7 +358,7 @@ class UdpHeader(_CachedHeader):
     def from_bytes(cls, data: bytes) -> "UdpHeader":
         """Parse the 8-byte wire format."""
         sport, dport, length = struct.unpack_from(cls._FMT, data)
-        return cls(sport, dport, length)
+        return cls.fresh(sport=sport, dport=dport, length=length)
 
 
 @dataclass
@@ -361,7 +396,7 @@ class TcpHeader(_CachedHeader):
     def from_bytes(cls, data: bytes) -> "TcpHeader":
         """Parse the 20-byte wire format."""
         sport, dport, seq, ack, _off, flags, window = struct.unpack_from(cls._FMT, data)
-        return cls(sport, dport, seq, ack, flags, window)
+        return cls.fresh(sport=sport, dport=dport, seq=seq, ack=ack, flags=flags, window=window)
 
 
 @dataclass

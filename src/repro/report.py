@@ -107,6 +107,33 @@ def format_engine_stats(stats: Mapping[str, float]) -> str:
             f"fifo_in={ser['fifo_bytes_in']:,}B  fifo_out={ser['fifo_bytes_out']:,}B  "
             f"pool={ser['pool_hits']:,}/{ser['pool_hits'] + ser['pool_misses']:,}"
         )
+    ntf = stats.get("notify")
+    if ntf is not None:
+        fifo_total = ntf["fifo_notifies"] + ntf["fifo_suppressed"]
+        ring_total = ntf["ring_notifies"] + ntf["ring_suppressed"]
+        fifo_rate = 100.0 * ntf["fifo_suppressed"] / fifo_total if fifo_total else 0.0
+        ring_rate = 100.0 * ntf["ring_suppressed"] / ring_total if ring_total else 0.0
+        batches = ntf["drain_batches"]
+        per_batch = ntf["drain_entries"] / batches if batches else 0.0
+        lines.append(
+            "notify: "
+            f"fifo={ntf['fifo_notifies']:,}/{fifo_total:,} sent "
+            f"({fifo_rate:.1f}% suppressed)  "
+            f"ring={ntf['ring_notifies']:,}/{ring_total:,} sent "
+            f"({ring_rate:.1f}% suppressed)  "
+            f"drain={ntf['drain_entries']:,} entries/"
+            f"{batches:,} batches ({per_batch:.1f}/batch)"
+        )
+    channels = stats.get("channels")
+    if channels:
+        for ch in channels:
+            lines.append(
+                f"  channel {ch['guest']}->dom{ch['peer_domid']}: "
+                f"sent={ch['pkts_sent']:,}  recv={ch['pkts_received']:,}  "
+                f"notifies={ch['notifies']:,}  "
+                f"suppressed={ch['notifies_suppressed']:,}  "
+                f"batches={ch['drain_batches']:,}"
+            )
     flt = stats.get("faults")
     if flt is not None:
         def _counts(d: Mapping[str, int]) -> str:

@@ -504,13 +504,14 @@ class Simulator:
         if until < self.now:
             raise SimulationError(f"until={until} is in the past (now={self.now})")
         heappush = heapq.heappush
+        popleft = ready.popleft
         try:
             # Pop-then-restore: popping directly and putting the entry
             # back on the (at most one) break beats peeking every
             # iteration on the hot path.
             while ready or queue:
                 if ready and (not queue or ready[0] < queue[0]):
-                    entry = ready.popleft()
+                    entry = popleft()
                     if entry[0] > until:
                         ready.appendleft(entry)
                         break
@@ -537,14 +538,16 @@ class Simulator:
         ready = self._ready
         queue = self._queue
         heappop = heapq.heappop
+        popleft = ready.popleft
+        pending = PENDING
         count = 0
         try:
             # Same pop-then-restore structure as run(): the deadline is
             # exceeded at most once, so the restore branch never runs on
             # the hot path.
-            while process._state == PENDING:
+            while process._state == pending:
                 if ready and (not queue or ready[0] < queue[0]):
-                    entry = ready.popleft()
+                    entry = popleft()
                     if entry[0] > deadline:
                         ready.appendleft(entry)
                         raise SimulationError(f"timeout waiting for {process.name}")

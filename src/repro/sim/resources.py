@@ -14,9 +14,10 @@
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Any, Deque, Hashable, Optional
 
-from repro.sim.engine import Event, SimulationError, Simulator
+from repro.sim.engine import TRIGGERED, Event, SimulationError, Simulator
 
 __all__ = ["CPUCores", "Resource", "Store"]
 
@@ -34,7 +35,7 @@ class Resource:
 
     def acquire(self) -> Event:
         """Request a unit; the returned event fires when granted."""
-        ev = self.sim.event(name="resource.acquire")
+        ev = Event(self.sim, "resource.acquire")
         if self.in_use < self.capacity:
             self.in_use += 1
             ev.succeed()
@@ -79,7 +80,7 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Append an item; blocks (event pending) while a bounded store is full."""
-        ev = self.sim.event(name="store.put")
+        ev = Event(self.sim, "store.put")
         if self._getters:
             # Hand the item straight to the oldest waiting getter.
             self._getters.popleft().succeed(item)
@@ -103,7 +104,7 @@ class Store:
 
     def get(self) -> Event:
         """Take the oldest item; the event fires when one is available."""
-        ev = self.sim.event(name="store.get")
+        ev = Event(self.sim, "store.get")
         if self.items:
             ev.succeed(self.items.popleft())
             self._admit_putter()
@@ -143,18 +144,66 @@ class _Completion:
     intermediate Event or closure allocation.  Scheduling order matches
     the old ``_start``/``_finish`` chain exactly (one sequence number per
     segment, completion work before ``done.succeed()``).
+
+    ``st`` is the domain's ``[running, limit]`` accounting record (see
+    :attr:`CPUCores._dom`), carried here so releasing the segment is a
+    list update instead of a second dict lookup on the domain key.
     """
 
-    __slots__ = ("cpus", "core", "domain", "done")
+    __slots__ = ("cpus", "core", "st", "done")
 
-    def __init__(self, cpus: "CPUCores", core: _Core, domain: Hashable, done: Event):
+    def __init__(self, cpus: "CPUCores", core: _Core, st: list, done: Event):
         self.cpus = cpus
         self.core = core
-        self.domain = domain
+        self.st = st
         self.done = done
 
     def _process(self) -> None:
-        self.cpus._complete(self.core, self.domain, self.done)
+        # Inlined CPUCores._release + Event.succeed (the two hottest
+        # calls in the whole simulation run through here): free the
+        # core, decrement the domain's running count, admit the next
+        # queued segment, then trigger ``done`` on the immediate run
+        # queue.  ``done`` is engine-owned and still PENDING by
+        # construction, so the succeed() re-trigger guard is skipped.
+        cpus = self.cpus
+        self.core.busy = False
+        self.st[0] -= 1
+        if cpus._queue:
+            cpus._admit(self.core)
+        done = self.done
+        done._state = TRIGGERED
+        sim = done.sim
+        sim._seq += 1
+        sim._ready.append((sim.now, sim._seq, done))
+
+
+class _CallCompletion:
+    """Calendar entry ending a CPU segment by *calling* a function.
+
+    The :meth:`CPUCores.execute_call` variant of :class:`_Completion`:
+    instead of succeeding a done Event (one calendar entry for the
+    completion plus one for the event bounce, plus an Event allocation),
+    the completion invokes ``fn()`` directly -- the whole segment
+    lifecycle is ONE heap entry and zero Event objects.  Used by the
+    event-channel upcall path, where the continuation is always a plain
+    handler call with no waiters.
+    """
+
+    __slots__ = ("cpus", "core", "st", "fn")
+
+    def __init__(self, cpus: "CPUCores", core: _Core, st: list, fn):
+        self.cpus = cpus
+        self.core = core
+        self.st = st
+        self.fn = fn
+
+    def _process(self) -> None:
+        cpus = self.cpus
+        self.core.busy = False
+        self.st[0] -= 1
+        if cpus._queue:
+            cpus._admit(self.core)
+        self.fn()
 
 
 class CPUCores:
@@ -177,12 +226,13 @@ class CPUCores:
         self.sim = sim
         self.cores = [_Core(i) for i in range(n_cores)]
         self.switch_penalty = switch_penalty
-        self._queue: Deque[tuple[Hashable, float, Event]] = deque()
-        #: per-domain vCPU limits: at most N segments of a domain's work
-        #: run concurrently (guests in the paper's testbed are 1-vCPU;
-        #: Dom0 and native hosts get all cores).
-        self._vcpu_limit: dict[Hashable, int] = {}
-        self._running: dict[Hashable, int] = {}
+        self._queue: Deque[tuple[list, Hashable, float, Any]] = deque()
+        #: per-domain accounting: domain -> ``[running, limit]`` where
+        #: ``running`` is the count of in-flight segments and ``limit``
+        #: the vCPU cap (None = all cores; guests in the paper's testbed
+        #: are 1-vCPU, Dom0 and native hosts get all cores).  One dict
+        #: lookup on the hottest path; completions carry the list.
+        self._dom: dict[Hashable, list] = {}
         self.total_busy_time = 0.0
         self.total_switches = 0
 
@@ -190,23 +240,34 @@ class CPUCores:
         """Cap a domain's concurrent segments (its vCPU count)."""
         if n < 1:
             raise ValueError("vCPU limit must be >= 1")
-        self._vcpu_limit[domain] = n
+        st = self._dom.get(domain)
+        if st is None:
+            self._dom[domain] = [0, n]
+        else:
+            st[1] = n
+
+    @property
+    def _vcpu_limit(self) -> dict[Hashable, int]:
+        """Per-domain vCPU caps as a plain dict (introspection/tests)."""
+        return {d: st[1] for d, st in self._dom.items() if st[1] is not None}
 
     def _may_run(self, domain: Hashable) -> bool:
-        limit = self._vcpu_limit.get(domain)
-        return limit is None or self._running.get(domain, 0) < limit
+        st = self._dom.get(domain)
+        return st is None or st[1] is None or st[0] < st[1]
 
     def execute(self, domain: Hashable, cost: float) -> Event:
         """Run ``cost`` seconds of work for ``domain``; event fires at end."""
         if cost < 0:
             raise ValueError(f"negative work cost: {cost}")
-        done = Event(self.sim, name="cpu")
+        done = Event(self.sim, "cpu")
         # Inlined _may_run/_pick_core (this is the hottest call site in
         # the whole simulation); selection order matches _pick_core
         # exactly: prefer a free core that last ran this domain, else the
         # first free core.
-        limit = self._vcpu_limit.get(domain)
-        if limit is None or self._running.get(domain, 0) < limit:
+        st = self._dom.get(domain)
+        if st is None:
+            st = self._dom[domain] = [0, None]
+        if st[1] is None or st[0] < st[1]:
             best = None
             for core in self.cores:
                 if core.busy:
@@ -217,10 +278,40 @@ class CPUCores:
                 if best is None:
                     best = core
             if best is not None:
-                self._start(best, domain, cost, done)
+                self._start(best, domain, st, cost, done)
                 return done
-        self._queue.append((domain, cost, done))
+        self._queue.append((st, domain, cost, done))
         return done
+
+    def execute_call(self, domain: Hashable, cost: float, fn) -> None:
+        """Run ``cost`` seconds of work for ``domain``; call ``fn()`` at end.
+
+        The fire-and-forget variant of :meth:`execute` for continuations
+        nobody waits on (event-channel upcall handlers): completing the
+        segment calls ``fn`` directly instead of succeeding an Event, so
+        the whole segment costs one calendar entry instead of two and
+        allocates no Event.  Scheduling (core affinity, vCPU limits,
+        switch penalty, FIFO queueing) is identical to :meth:`execute`.
+        """
+        if cost < 0:
+            raise ValueError(f"negative work cost: {cost}")
+        st = self._dom.get(domain)
+        if st is None:
+            st = self._dom[domain] = [0, None]
+        if st[1] is None or st[0] < st[1]:
+            best = None
+            for core in self.cores:
+                if core.busy:
+                    continue
+                if core.last_domain == domain:
+                    best = core
+                    break
+                if best is None:
+                    best = core
+            if best is not None:
+                self._start(best, domain, st, cost, fn)
+                return
+        self._queue.append((st, domain, cost, fn))
 
     def execute_batch(self, domain: Hashable, costs) -> Event:
         """Run several work parts for ``domain`` as ONE segment.
@@ -255,42 +346,50 @@ class CPUCores:
                 best = core
         return best
 
-    def _start(self, core: _Core, domain: Hashable, cost: float, done: Event) -> None:
+    def _start(self, core: _Core, domain: Hashable, st: list, cost: float, done) -> None:
         total = cost
-        if core.last_domain is not None and core.last_domain != domain:
+        last = core.last_domain
+        if last is not None and last != domain:
             total += self.switch_penalty
             self.total_switches += 1
         core.busy = True
         core.last_domain = domain
-        running = self._running
-        running[domain] = running.get(domain, 0) + 1
+        st[0] += 1
         self.total_busy_time += total
-        # Single scheduled completion for the whole segment.
-        self.sim._schedule(_Completion(self, core, domain, done), total)
+        # Single scheduled completion for the whole segment, placed on
+        # the calendar directly (Simulator._schedule inlined; ``total``
+        # is never negative here).  ``done`` is an Event (execute) or a
+        # bare callable (execute_call).
+        comp = (
+            _Completion(self, core, st, done)
+            if type(done) is Event
+            else _CallCompletion(self, core, st, done)
+        )
+        sim = self.sim
+        sim._seq += 1
+        if total == 0.0:
+            sim._ready.append((sim.now, sim._seq, comp))
+        else:
+            heappush(sim._queue, (sim.now + total, sim._seq, comp))
 
-    def _complete(self, core: _Core, domain: Hashable, done: Event) -> None:
-        core.busy = False
-        self._running[domain] -= 1
-        # Admit the first queued segment whose domain is under its limit
-        # (_may_run/_pick_core inlined: with 1-vCPU guests the queue is
-        # rarely empty here, making this the second-hottest CPU path).
-        queue = self._queue
-        if queue:
-            vcpu_limit = self._vcpu_limit
-            running = self._running
-            for i, (qdomain, cost, ev) in enumerate(queue):
-                limit = vcpu_limit.get(qdomain)
-                if limit is None or running.get(qdomain, 0) < limit:
-                    del queue[i]
-                    chosen = None
-                    for c in self.cores:
-                        if c.busy:
-                            continue
-                        if c.last_domain == qdomain:
-                            chosen = c
-                            break
-                        if chosen is None:
-                            chosen = c
-                    self._start(chosen or core, qdomain, cost, ev)
-                    break
-        done.succeed()
+    def _admit(self, freed: _Core) -> None:
+        """Admit the first queued segment whose domain is under its limit.
+
+        Called from the completion records right after they free a core
+        (_may_run/_pick_core inlined: with 1-vCPU guests the queue is
+        rarely empty here, making this the second-hottest CPU path).
+        """
+        for i, (qst, qdomain, cost, ev) in enumerate(self._queue):
+            if qst[1] is None or qst[0] < qst[1]:
+                del self._queue[i]
+                chosen = None
+                for c in self.cores:
+                    if c.busy:
+                        continue
+                    if c.last_domain == qdomain:
+                        chosen = c
+                        break
+                    if chosen is None:
+                        chosen = c
+                self._start(chosen or freed, qdomain, qst, cost, ev)
+                return

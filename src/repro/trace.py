@@ -107,14 +107,38 @@ def engine_stats(sim, wall_s: Optional[float] = None) -> dict:
     When a :class:`repro.faults.FaultPlan` is installed on the
     simulator, a ``faults`` sub-dict carries its injected / recovered /
     degraded counters.
+
+    The ``notify`` sub-dict holds the event-channel suppression counters
+    from :data:`repro.xen.event_channel.NOTIFY_STATS` (process-global,
+    like the serialization counters: reset before a measured run).  When
+    the simulator has XenLoop channels, ``channels`` lists each one's
+    per-channel notify / suppression / batched-pop counters in creation
+    order.
     """
     from repro.net.packet import WIRE_STATS
+    from repro.xen.event_channel import NOTIFY_STATS
 
     stats = {"events": sim.event_count, "sim_time": sim.now}
     if wall_s is not None:
         stats["wall_s"] = wall_s
         stats["events_per_sec"] = sim.event_count / wall_s if wall_s > 0 else 0.0
     stats["serialization"] = WIRE_STATS.snapshot()
+    stats["notify"] = NOTIFY_STATS.snapshot()
+    channels = getattr(sim, "_xenloop_channels", None)
+    if channels:
+        stats["channels"] = [
+            {
+                "guest": ch.guest.name,
+                "peer_domid": ch.peer_domid,
+                "pkts_sent": ch.pkts_sent,
+                "pkts_received": ch.pkts_received,
+                "notifies": ch.notifies,
+                "notifies_suppressed": ch.notifies_suppressed,
+                "drain_batches": ch.drain_batches,
+                "drain_entries": ch.drain_entries,
+            }
+            for ch in channels
+        ]
     plan = getattr(sim, "fault_plan", None)
     if plan is not None:
         stats["faults"] = plan.snapshot()

@@ -25,7 +25,53 @@ from typing import Callable, Optional
 from repro.calibration import CostModel
 from repro.sim.engine import Simulator
 
-__all__ = ["EventChannelError", "EventChannelSubsys", "Port"]
+__all__ = ["EventChannelError", "EventChannelSubsys", "NOTIFY_STATS", "NotifyStats", "Port"]
+
+
+class NotifyStats:
+    """Process-global notification counters (WIRE_STATS pattern).
+
+    Tracks how often the notify hypercall was actually issued versus
+    suppressed by the consumer-advertised waiting state -- separately for
+    the XenLoop FIFO channel (``fifo_*``) and the netfront/netback ring
+    protocol (``ring_*``) -- plus the channel drain worker's batched-pop
+    counters.  Reset with :meth:`reset` before a measured run; snapshot
+    via :func:`repro.trace.engine_stats`.
+    """
+
+    __slots__ = (
+        "fifo_notifies",
+        "fifo_suppressed",
+        "ring_notifies",
+        "ring_suppressed",
+        "drain_batches",
+        "drain_entries",
+    )
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.fifo_notifies = 0
+        self.fifo_suppressed = 0
+        self.ring_notifies = 0
+        self.ring_suppressed = 0
+        self.drain_batches = 0
+        self.drain_entries = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "fifo_notifies": self.fifo_notifies,
+            "fifo_suppressed": self.fifo_suppressed,
+            "ring_notifies": self.ring_notifies,
+            "ring_suppressed": self.ring_suppressed,
+            "drain_batches": self.drain_batches,
+            "drain_entries": self.drain_entries,
+        }
+
+
+#: the process-global instance every notify/suppress site updates.
+NOTIFY_STATS = NotifyStats()
 
 
 class EventChannelError(Exception):
@@ -65,6 +111,7 @@ class Port:
         "closed",
         "notifies_sent",
         "notifies_coalesced",
+        "notifies_suppressed",
         "upcalls",
     )
 
@@ -78,6 +125,9 @@ class Port:
         self.closed = False
         self.notifies_sent = 0
         self.notifies_coalesced = 0
+        #: notifies the owner *avoided sending* because the peer had not
+        #: armed its waiting/event flag (counted at the send site).
+        self.notifies_suppressed = 0
         self.upcalls = 0
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -21,52 +21,6 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["Hypervisor"]
 
 
-class _Noop:
-    """Calendar entry that does nothing (sequence-number placeholder)."""
-
-    __slots__ = ()
-
-    def _process(self) -> None:
-        pass
-
-
-_NOOP = _Noop()
-
-
-class _Upcall:
-    """Calendar entry emulating the old per-upcall generator process.
-
-    The generator version consumed four sequence numbers per upcall:
-    the spawn resume, the CPU-segment completion schedule, the CPU
-    done-event bounce, and the finished process's own bounce.  This
-    record consumes the same four at the same instants -- so the engine's
-    event stream is unchanged -- while dropping the generator frame, the
-    Process event, and two generator resumes per virq.
-    """
-
-    __slots__ = ("domain", "cost", "fn")
-
-    def __init__(self, domain: "Domain", cost: float, fn: Callable[[], None]):
-        self.domain = domain
-        self.cost = cost
-        self.fn = fn
-
-    def _process(self) -> None:
-        # Spawn-resume fired: charge the CPU segment (schedules the
-        # completion now; its done event bounces when the segment ends).
-        done = self.domain.exec(self.cost)
-        done.callbacks.append(self._finish)
-
-    def _finish(self, ev) -> None:
-        self.fn()
-        # The generator version's process event fired (with no waiters)
-        # right after the handler ran; keep that placeholder entry so
-        # sequence numbering stays identical.
-        sim = ev.sim
-        sim._seq += 1
-        sim._ready.append((sim.now, sim._seq, _NOOP))
-
-
 class Hypervisor:
     """Per-machine grant tables, event channels, and domid space."""
     def __init__(self, sim: Simulator, costs: CostModel):
@@ -107,10 +61,15 @@ class Hypervisor:
         self.evtchn.close_all_for(domain.domid)
 
     def exec_in_domain(self, domid: int, cost: float, fn: Callable[[], None]) -> None:
-        """Charge ``cost`` to ``domid`` and then run ``fn`` in its context."""
+        """Charge ``cost`` to ``domid`` and then run ``fn`` in its context.
+
+        Single-entry upcall: the CPU segment is submitted directly with a
+        call continuation, so one virq costs exactly one calendar entry
+        (the segment's completion) on top of its delivery -- the old
+        per-upcall chain burned four (spawn resume, completion, done
+        bounce, process-finish placeholder).
+        """
         domain = self.domains.get(domid)
         if domain is None or not domain.alive:
             return  # domain died while the upcall was in flight
-        sim = self.sim
-        sim._seq += 1
-        sim._ready.append((sim.now, sim._seq, _Upcall(domain, cost, fn)))
+        domain.cpus.execute_call(domain.sched_key, cost, fn)

@@ -113,7 +113,7 @@ class XenMachine(Machine):
         """Attach a migrated-in domain: new domid, fresh XenStore subtree,
         new split-driver wiring.  Returns the new domid."""
         guest.machine = self
-        guest.cpus = self.cpus
+        guest._bind_cpus(self.cpus)
         guest.domid = self.hypervisor.alloc_domid()
         self.hypervisor.register_domain(guest)
         self.cpus.set_vcpu_limit(guest.sched_key, getattr(guest, "vcpus", 1))

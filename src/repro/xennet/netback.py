@@ -20,6 +20,7 @@ from repro import trace
 from repro.net.bridge import BridgePort
 from repro.net.packet import Packet
 from repro.sim.resources import Store
+from repro.xen.event_channel import NOTIFY_STATS
 from repro.xennet.netfront import pages_for
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -73,7 +74,14 @@ class Netback:
 
     # -- interrupt handler (runs in Dom0 context) -----------------------------
     def on_interrupt(self) -> None:
-        """Guest kicked us: wake the TX drain worker."""
+        """Guest kicked us: wake the TX drain worker.
+
+        The request event index is disarmed here, at upcall delivery,
+        rather than when the worker resumes: pushes landing during the
+        dom0 wakeup latency are already covered by this kick, so their
+        notifies can be suppressed that much earlier.
+        """
+        self.tx_ring.req_event_armed = False
         if not self._kick.triggered:
             self._kick.succeed()
 
@@ -85,12 +93,22 @@ class Netback:
     def _tx_drain_loop(self):
         dom0 = self.dom0
         costs = dom0.costs
+        ring = self.tx_ring
         while True:
             if self.detached:
                 return
-            if not self.tx_ring.has_requests:
+            if not ring.has_requests:
+                # Going to sleep: advertise it by arming the request event
+                # index, then make the final check for requests pushed
+                # while we were unarmed (their notify was suppressed --
+                # nobody else will wake us for them).
+                ring.req_event_armed = True
+                if ring.has_requests:
+                    ring.req_event_armed = False
+                    continue
                 self._kick = dom0.sim.event(name=self._kick_name)
                 yield self._kick
+                ring.req_event_armed = False
                 # Credit-scheduler delay before Dom0's worker actually runs.
                 yield dom0.sim.timeout(costs.dom0_wakeup_latency)
                 continue
@@ -103,8 +121,8 @@ class Netback:
             # body, so a lazily-parsed packet passes through unparsed.
             burst: list[Packet] = []
             cost = 0.0
-            while self.tx_ring.has_requests and len(burst) < self.TX_BURST:
-                packet: Packet = self.tx_ring.pop_request()
+            while ring.has_requests and len(burst) < self.TX_BURST:
+                packet: Packet = ring.pop_request()
                 size = packet.wire_len
                 npages = pages_for(size)
                 cost += (
@@ -114,7 +132,6 @@ class Netback:
                     + costs.netback_per_packet
                     + costs.hypercall
                     + costs.grant_unmap_page * npages
-                    + costs.evtchn_send
                 )
                 burst.append(packet)
             yield dom0.exec(cost)
@@ -123,12 +140,24 @@ class Netback:
                     # detach() landed mid-burst (e.g. during a forward):
                     # the port is closed, drop the rest of the burst.
                     return
-                self.tx_ring.push_response(packet.wire_len)
+                ring.push_response(packet.wire_len)
                 self.tx_packets += 1
                 trace.mark(packet, "netback-tx", dom0.sim.now)
-                # Completion notify back to the guest (coalesced; the
-                # hypercall cost was charged in the aggregated segment).
-                dom0.machine.hypervisor.evtchn.notify(self.evtchn_port)
+                # Completion notify back to the guest -- only when the
+                # transmit loop armed the response event index (it is
+                # blocked on ring space); completions are otherwise
+                # reclaimed lazily at the next transmit.  Netfront clears
+                # the flag; leaving it set here means a lost notify is
+                # retried by the next completion.
+                if ring.rsp_event_armed:
+                    NOTIFY_STATS.ring_notifies += 1
+                    yield dom0.exec(costs.evtchn_send)
+                    if self.evtchn_port is not None:
+                        dom0.machine.hypervisor.evtchn.notify(self.evtchn_port)
+                else:
+                    NOTIFY_STATS.ring_suppressed += 1
+                    if self.evtchn_port is not None:
+                        self.evtchn_port.notifies_suppressed += 1
                 # Forward through the bridge inline to preserve ordering.
                 yield from self.bridge.forward(self.port, packet)
 
@@ -157,8 +186,19 @@ class Netback:
         trace.mark(packet, "netback-rx-to-guest", dom0.sim.now)
         yield self.rx_store.put(packet)  # blocks while the guest RX ring is full
         self.rx_packets += 1
-        yield dom0.exec(costs.evtchn_send)
-        dom0.machine.hypervisor.evtchn.notify(self.evtchn_port)
+        # RX event index: the guest disarms it while its interrupt handler
+        # drains the store, so frames landing mid-drain skip the notify
+        # (and its hypercall charge) -- the handler's final check picks
+        # them up.  Only the guest re-arms the flag.
+        if self.netfront.rx_event_armed:
+            NOTIFY_STATS.ring_notifies += 1
+            yield dom0.exec(costs.evtchn_send)
+            if self.evtchn_port is not None:
+                dom0.machine.hypervisor.evtchn.notify(self.evtchn_port)
+        else:
+            NOTIFY_STATS.ring_suppressed += 1
+            if self.evtchn_port is not None:
+                self.evtchn_port.notifies_suppressed += 1
 
     # -- teardown ---------------------------------------------------------
     def detach(self) -> None:

@@ -26,6 +26,7 @@ from repro.net.devices import NetDevice
 from repro.net.packet import Packet
 from repro.sim.engine import Event
 from repro.sim.resources import Store
+from repro.xen.event_channel import NOTIFY_STATS
 from repro.xen.page import PAGE_SIZE
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -55,16 +56,18 @@ class VifDevice(NetDevice):
         self.netfront = netfront
 
     def tx_cost(self, packet: Packet) -> float:
-        """Ring request build + per-page grant entries + notify hypercall."""
+        """Ring request build + per-page grant entries.
+
+        The notify hypercall is NOT included here: since the transmit
+        loop suppresses it whenever netback's drain worker is already
+        awake, ``evtchn_send`` is charged at the notify site, only when
+        the kick is actually sent.
+        """
         costs = self.netfront.guest.costs
         npages = pages_for(packet.wire_len)
         # Ring request build + one grant entry per page (no hypercall at
-        # the granting side) + the notify hypercall.
-        return (
-            costs.netfront_tx
-            + costs.grant_entry_update * npages
-            + costs.evtchn_send
-        )
+        # the granting side).
+        return costs.netfront_tx + costs.grant_entry_update * npages
 
     def rx_cost(self, packet: Packet) -> float:
         """Netfront per-packet receive bookkeeping."""
@@ -94,6 +97,13 @@ class Netfront:
         self._tx_worker = guest.spawn(self._tx_loop(), name="netfront-tx")
         self.tx_packets = 0
         self.rx_packets = 0
+        #: the RX ring's "event index": whether the guest wants an upcall
+        #: for newly delivered receive frames.  Armed except while the
+        #: interrupt handler is draining; netback reads it at push time
+        #: and suppresses the notify when clear.  Only the guest (the
+        #: consumer) writes it, so a lost notify leaves it armed and the
+        #: next frame's notify recovers.
+        self.rx_event_armed = True
 
     # -- transmit ---------------------------------------------------------
     def start_xmit(self, packet: Packet) -> Event:
@@ -116,36 +126,98 @@ class Netfront:
 
     def _tx_loop(self):
         guest = self.guest
+        costs = guest.costs
         while True:
-            if not self._txq or self.suspended or self.tx_ring is None:
+            ring = self.tx_ring
+            if ring is not None and ring.has_responses:
+                # Lazy completion reclaim (NAPI netfront idiom): consume
+                # finished responses opportunistically while transmitting,
+                # so completions almost never need an interrupt.
+                while ring.pop_response() is not None:
+                    pass
+            if not self._txq or self.suspended or ring is None:
+                if ring is not None and ring.outstanding > 0:
+                    # Going idle with slots still held: arm the response
+                    # event index so the completions that reclaim them
+                    # get an upcall, then make the final check for any
+                    # that landed (suppressed) while we were unarmed.
+                    ring.rsp_event_armed = True
+                    if ring.has_responses:
+                        ring.rsp_event_armed = False
+                        continue  # loop top reclaims them
                 self._tx_kick = guest.sim.event(name="netfront-tx-kick")
                 yield self._tx_kick
+                if ring is not None:
+                    # Woken to transmit: completions go back to lazy
+                    # reclaim in this loop.
+                    ring.rsp_event_armed = False
                 continue
-            if self.tx_ring.free_slots == 0:
-                yield self.tx_ring.wait_space()
+            if ring.free_slots == 0:
+                # Blocked on ring space: arm the response event index,
+                # then make the final check for completions that landed
+                # while we were unarmed (those sent no upcall) before
+                # actually sleeping.
+                ring.rsp_event_armed = True
+                if ring.has_responses:
+                    ring.rsp_event_armed = False
+                    continue  # loop top reclaims them
+                yield ring.wait_space()
                 continue
             packet, done = self._txq.popleft()
-            self.tx_ring.push_request(packet)
+            ring.push_request(packet)
             self.tx_packets += 1
             self.vif.count_tx(packet)
             done.succeed()
-            # Notify the driver domain (pending-bit coalescing applies).
-            self.guest.machine.hypervisor.evtchn.notify(self.evtchn_port)
+            # RING_PUSH_REQUESTS_AND_CHECK_NOTIFY: kick the driver domain
+            # only if its drain worker advertised it is (going) asleep.
+            # The armed flag is netback's to clear -- leaving it set means
+            # a fault-injected lost notify is retried by the next push.
+            port = self.evtchn_port
+            if ring.req_event_armed:
+                NOTIFY_STATS.ring_notifies += 1
+                yield guest.exec(costs.evtchn_send)
+                if port is not None and not port.closed:
+                    guest.machine.hypervisor.evtchn.notify(port)
+            else:
+                NOTIFY_STATS.ring_suppressed += 1
+                if port is not None:
+                    port.notifies_suppressed += 1
 
     # -- interrupt (virq) handler ------------------------------------------
     def on_interrupt(self) -> None:
         """Runs in guest context after virq_entry is charged: drain RX
-        packets into the stack backlog and consume TX completions."""
-        if self.rx_store is not None:
-            while True:
-                found, packet = self.rx_store.try_get()
-                if not found:
-                    break
-                self.rx_packets += 1
-                self.vif.deliver_up(packet)
-        if self.tx_ring is not None:
-            while self.tx_ring.pop_response() is not None:
-                pass  # slot freed; wait_space waiters fire inside the ring
+        packets into the stack backlog and consume TX completions.
+
+        Follows the suppression protocol's consumer side: disarm the RX
+        event index while draining (netback then skips the notify for
+        frames pushed mid-drain -- this loop will see them), re-arm, and
+        make the final occupancy check before returning so nothing is
+        stranded in the disarmed window.
+        """
+        while True:
+            self.rx_event_armed = False
+            store = self.rx_store
+            if store is not None:
+                while True:
+                    found, packet = store.try_get()
+                    if not found:
+                        break
+                    self.rx_packets += 1
+                    self.vif.deliver_up(packet)
+            ring = self.tx_ring
+            if ring is not None and ring.has_responses:
+                while ring.pop_response() is not None:
+                    pass  # slot freed; wait_space waiters fire in the ring
+                # Completions are reclaimed lazily by the tx loop; the
+                # armed flag only needs to stay set while that loop is
+                # blocked on space, and we just freed some.
+                ring.rsp_event_armed = False
+            self.rx_event_armed = True
+            # Final check: anything delivered while we were disarmed was
+            # pushed without a notify -- pick it up now instead of sleeping.
+            if store is not None and len(store):
+                continue
+            break
 
     # -- migration support -----------------------------------------------
     def suspend(self) -> None:

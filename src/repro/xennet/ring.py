@@ -34,6 +34,8 @@ class SlottedRing:
         "outstanding",
         "_space_waiters",
         "total_requests",
+        "req_event_armed",
+        "rsp_event_armed",
     )
 
     def __init__(self, sim: Simulator, size: int):
@@ -47,6 +49,22 @@ class SlottedRing:
         self.outstanding = 0
         self._space_waiters: Deque[Event] = deque()
         self.total_requests = 0
+        # The shared-page "event indices" of the real ring protocol,
+        # reduced to their boolean meaning: whether each side currently
+        # wants a notification.  Only the side that *wants* the wakeup
+        # ever writes its own flag (armed before sleeping, cleared on
+        # wake); the other side reads it in its
+        # RING_PUSH_*_AND_CHECK_NOTIFY moment and skips the notify
+        # hypercall when the flag is clear.  Because the notifier never
+        # clears the flag, a fault-injected lost notify is healed by the
+        # next push -- the flag is still armed.
+        #: netback wants a kick when requests are pushed (armed while its
+        #: drain worker sleeps).
+        self.req_event_armed = True
+        #: netfront wants an upcall when responses are pushed (armed only
+        #: while blocked on ring space -- completions are otherwise
+        #: reclaimed lazily in the transmit loop, NAPI-style).
+        self.rsp_event_armed = True
 
     # -- producer side (e.g. netfront tx) ---------------------------------
     @property

@@ -12,50 +12,66 @@ the simulation computes, only how fast it computes it.
 from repro import scenarios
 from repro.net.packet import WIRE_STATS
 from repro.workloads.netperf import tcp_rr, udp_stream
+from repro.xen.event_channel import NOTIFY_STATS
 
 FAST = scenarios.DEFAULT_COSTS.replace(discovery_period=0.2, bootstrap_timeout=0.01)
 
 GOLDEN_UDP = {
     # (bytes_received, mbps, messages_sent, drops)
-    "xenloop": (1015808, 410.99805937025326, 334, 0),
-    "netfront_netback": (1048576, 424.3305163003387, 342, 0),
+    "xenloop": (1134592, 457.5352803299374, 362, 0),
+    "netfront_netback": (1150976, 457.23153498833443, 366, 0),
 }
 
 #: same workload after scenario warmup (XenLoop channel CONNECTED), so
 #: the traffic actually crosses the FIFO data path.
-GOLDEN_UDP_WARM_XENLOOP = (5312512, 2127.3822444065545, 1913, 361)
+GOLDEN_UDP_WARM_XENLOOP = (5533696, 2216.5262726330157, 1966, 360)
 
 #: the zero-copy data path's serialization counters for that warm run --
 #: they are part of the deterministic output and must not drift.
 GOLDEN_WIRE_COUNTERS = {
     "l3_cache_hits": 0,
-    "l3_cache_misses": 1914,
+    "l3_cache_misses": 1967,
     "header_cache_hits": 0,
-    "header_cache_misses": 3828,
-    "lazy_l4_parses": 1914,
-    "bytes_packed": 53592,
-    "bytes_parsed": 7850964,
-    "fifo_bytes_in": 7889244,
-    "fifo_bytes_out": 7889244,
+    "header_cache_misses": 3934,
+    "lazy_l4_parses": 1967,
+    "bytes_packed": 55076,
+    "bytes_parsed": 8068476,
+    "fifo_bytes_in": 8107816,
+    "fifo_bytes_out": 8107816,
     "pool_hits": 0,
     "pool_misses": 0,
+}
+
+#: event-channel suppression counters for the same warm run: the
+#: notification-suppression protocol's behavior is deterministic output
+#: too.  fifo_notifies < messages_sent (1,177 kicks for 1,966 entries)
+#: and ~40% of data-available notifies suppressed is the tentpole's
+#: whole point; ring traffic is zero because the warm run's datagrams
+#: all cross the FIFO.
+GOLDEN_NOTIFY_COUNTERS = {
+    "fifo_notifies": 1177,
+    "fifo_suppressed": 790,
+    "ring_notifies": 0,
+    "ring_suppressed": 0,
+    "drain_batches": 1402,
+    "drain_entries": 1967,
 }
 
 GOLDEN_TCP_RR = {
     # (transactions, trans_per_sec, latency_us, p50_us, p99_us)
     "xenloop": (
         147,
-        7318.607329518545,
-        136.6380179964902,
-        136.54522487050943,
-        142.24804036293855,
+        7327.289562248531,
+        136.47611323458182,
+        136.4531879913993,
+        143.23696230360108,
     ),
     "netfront_netback": (
-        154,
-        7681.570033869365,
-        130.18172008988108,
-        130.05068528075103,
-        135.72010682263328,
+        148,
+        7397.525022656094,
+        135.18034706707192,
+        135.1635829300807,
+        141.9331283702719,
     ),
 }
 
@@ -95,6 +111,7 @@ class TestGoldenValues:
         scn = scenarios.build("xenloop", FAST, seed=7)
         scn.warmup(max_wait=20.0)
         WIRE_STATS.reset()
+        NOTIFY_STATS.reset()
         r = udp_stream(scn, msg_size=4096, duration=0.02)
         assert (
             r.bytes_received,
@@ -103,3 +120,4 @@ class TestGoldenValues:
             r.drops,
         ) == GOLDEN_UDP_WARM_XENLOOP
         assert WIRE_STATS.snapshot() == GOLDEN_WIRE_COUNTERS
+        assert NOTIFY_STATS.snapshot() == GOLDEN_NOTIFY_COUNTERS

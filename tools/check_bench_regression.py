@@ -1,0 +1,60 @@
+"""Gate CI on engine-throughput regressions.
+
+Compares the newest entry in ``BENCH_engine.json`` (appended by the
+bench-smoke step on this runner) against the previous history entry
+(committed from the last recorded run) and fails when events/s dropped
+by more than the allowed fraction.  CI runners are slower and noisier
+than the recording machine, so the default threshold is deliberately
+loose: it catches "someone made the hot path 20% slower", not 2% drift.
+
+Usage::
+
+    python tools/check_bench_regression.py [--history BENCH_engine.json] [--threshold 0.2]
+
+Exits 0 when the history has fewer than two entries (nothing to compare)
+or the newest entry is within threshold; exits 1 on a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def check(history_path: Path, threshold: float) -> int:
+    data = json.loads(history_path.read_text())
+    history = data.get("history", [])
+    if len(history) < 2:
+        print(f"{history_path}: {len(history)} history entries, nothing to compare")
+        return 0
+    prev, last = history[-2], history[-1]
+    prev_eps = prev["events_per_sec"]
+    last_eps = last["events_per_sec"]
+    floor = prev_eps * (1.0 - threshold)
+    verdict = "OK" if last_eps >= floor else "REGRESSION"
+    print(
+        f"{verdict}: {last.get('sha', '?')} {last_eps:,.0f} events/s vs "
+        f"{prev.get('sha', '?')} {prev_eps:,.0f} events/s "
+        f"(floor {floor:,.0f} = -{threshold:.0%})"
+    )
+    return 0 if last_eps >= floor else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--history", default="BENCH_engine.json", type=Path,
+        help="bench history file (default: BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--threshold", default=0.2, type=float,
+        help="max allowed fractional drop vs previous entry (default: 0.2)",
+    )
+    args = parser.parse_args()
+    return check(args.history, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,7 @@ import time
 from repro import scenarios, trace
 from repro.net.packet import WIRE_STATS
 from repro.workloads import netperf
+from repro.xen.event_channel import NOTIFY_STATS
 
 #: (bucket, filename substring, function-name substrings): how profiled
 #: functions map onto the serialization-cost categories.
@@ -68,6 +69,37 @@ def serialization_breakdown(ps: pstats.Stats, wall: float) -> str:
     return "\n".join(lines)
 
 
+def notify_breakdown(messages: int) -> str:
+    """Notification-suppression rates for the profiled run.
+
+    Reports notifies per message and drained entries per batch from
+    :data:`repro.xen.event_channel.NOTIFY_STATS` -- the view that shows
+    whether the check-flag-then-notify protocol is actually eliding
+    hypercalls on this workload (and how well the NAPI-style receiver
+    is amortizing its per-batch CPU charge).
+    """
+    snap = NOTIFY_STATS.snapshot()
+    fifo_total = snap["fifo_notifies"] + snap["fifo_suppressed"]
+    ring_total = snap["ring_notifies"] + snap["ring_suppressed"]
+    sent = snap["fifo_notifies"] + snap["ring_notifies"]
+    batches = snap["drain_batches"]
+    lines = ["notify-rate breakdown:"]
+    lines.append(
+        f"   fifo: {snap['fifo_notifies']:,}/{fifo_total:,} sent "
+        f"({100.0 * snap['fifo_suppressed'] / fifo_total if fifo_total else 0.0:.1f}% suppressed)"
+    )
+    lines.append(
+        f"   ring: {snap['ring_notifies']:,}/{ring_total:,} sent "
+        f"({100.0 * snap['ring_suppressed'] / ring_total if ring_total else 0.0:.1f}% suppressed)"
+    )
+    lines.append(
+        f"  rates: {sent / messages if messages else 0.0:.2f} notifies/message  "
+        f"{snap['drain_entries'] / batches if batches else 0.0:.1f} entries/batch "
+        f"({snap['drain_entries']:,} entries, {batches:,} batches)"
+    )
+    return "\n".join(lines)
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scenario", default="xenloop")
@@ -81,6 +113,7 @@ def main() -> None:
     args = parser.parse_args()
 
     WIRE_STATS.reset()
+    NOTIFY_STATS.reset()
     profiler = cProfile.Profile()
     t0 = time.perf_counter()
     profiler.enable()
@@ -101,6 +134,8 @@ def main() -> None:
     ps = pstats.Stats(profiler)
     ps.sort_stats(args.sort).print_stats(args.limit)
     print(serialization_breakdown(ps, wall))
+    print()
+    print(notify_breakdown(result.messages_sent))
     if args.output:
         ps.dump_stats(args.output)
         print(f"raw profile written to {args.output}")
