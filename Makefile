@@ -4,7 +4,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-all bench-smoke fault-matrix examples clean
+.PHONY: install test bench bench-all bench-smoke bench-shard-smoke fault-matrix fault-matrix-shard examples clean
 
 install:
 	@$(PYTHON) -m pip install -e . 2>/dev/null || ( \
@@ -30,10 +30,25 @@ bench-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine_throughput.py
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/bench_table3_latency.py --benchmark-only -s
 
+# Sharded-engine pulse: the multiprocess PDES scaling bench at 1 and 2
+# workers on the 2-machine grid (short duration -- this is a CI smoke,
+# not the recorded scaling figure), then the like-for-like regression
+# gate over BENCH_engine.json.
+bench-shard-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine_throughput.py --shards 1 --machines 2 --duration 0.1 --reps 1
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine_throughput.py --shards 2 --machines 2 --duration 0.1 --reps 1
+	$(PYTHON) tools/check_bench_regression.py
+
 # Fault-injection matrix: every {frame type x handshake phase x fault
 # kind} cell must converge (exit nonzero when any cell leaks or hangs).
 fault-matrix:
 	PYTHONPATH=src $(PYTHON) -m repro faults
+
+# The same sweep with each cell split across two shard processes, so
+# fault injection and recovery are exercised across the null-message
+# protocol boundary.
+fault-matrix-shard:
+	PYTHONPATH=src $(PYTHON) -m repro faults --shards 2
 
 examples:
 	@for ex in examples/*.py; do echo "== $$ex =="; $(PYTHON) $$ex || exit 1; done

@@ -78,12 +78,37 @@ def _load_history(output: pathlib.Path) -> list[dict]:
     return []
 
 
+def _detect_data_path(serialization: dict) -> str:
+    """Which data path the measured workload actually exercised.
+
+    The history had a silent gap: ``fifo_bytes_*``/``pool_*``/
+    ``drain_batches`` recorded 0 because the default bench never warms
+    XenLoop channels up (0.5 s simulated < the 5 s discovery period), so
+    every message rode the xennet ring.  Annotating the entry makes
+    the active path explicit instead of looking like broken counters.
+    """
+    return "fifo" if serialization.get("fifo_bytes_in", 0) > 0 else "xennet-ring"
+
+
+def _append_entry(
+    entry: dict, workload: dict, output: pathlib.Path, stats: dict
+) -> list[dict]:
+    history = _load_history(output)
+    history.append(entry)
+    output.write_text(
+        json.dumps({"workload": workload, "history": history}, indent=2) + "\n"
+    )
+    print(report.format_engine_stats(stats))
+    return history
+
+
 def run(
     scenario: str = "xenloop",
     msg_size: int = 4096,
     duration: float = 0.5,
     output: pathlib.Path = DEFAULT_OUTPUT,
     reps: int = 3,
+    data_path: str = "auto",
 ) -> dict:
     """Run the fixed workload, print and append the engine stats.
 
@@ -92,12 +117,20 @@ def run(
     (min-of-N, the standard way to strip scheduler noise from a
     throughput figure on a shared machine).  Returns the history entry
     recorded for this run.
+
+    ``data_path="fifo"`` warms the XenLoop channels up inside the timed
+    region (build + warmup + stream) so the measured traffic rides the
+    shared-FIFO path; serialization/notify counters are reset after the
+    warmup, so they describe the stream only.  The default leaves the
+    workload on the xennet ring and annotates the entry accordingly.
     """
     # Untimed warmup pass: a short run of the same workload on a throwaway
     # scenario triggers every lazy import and warms the interpreter.  The
     # timed runs below build a FRESH scenario with the same seed, so the
     # simulated results are unaffected.
     warm = scenarios.build(scenario)
+    if data_path == "fifo":
+        warm.warmup()
     netperf.udp_stream(warm, msg_size=msg_size, duration=0.01)
 
     best = None
@@ -106,6 +139,10 @@ def run(
         NOTIFY_STATS.reset()  # and notify/suppression work likewise
         t0 = time.perf_counter()
         scn = scenarios.build(scenario)
+        if data_path == "fifo":
+            scn.warmup()
+            WIRE_STATS.reset()
+            NOTIFY_STATS.reset()
         result = netperf.udp_stream(scn, msg_size=msg_size, duration=duration)
         wall = time.perf_counter() - t0
         rep_stats = trace.engine_stats(scn.sim, wall_s=wall)
@@ -116,6 +153,7 @@ def run(
         "sha": _git_sha(),
         "date": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "reps": max(1, reps),
+        "data_path": _detect_data_path(stats["serialization"]),
         "events": stats["events"],
         "sim_time": stats["sim_time"],
         "wall_s": round(stats["wall_s"], 4),
@@ -129,19 +167,96 @@ def run(
         "serialization": stats["serialization"],
         "notify": stats["notify"],
     }
-    history = _load_history(output)
-    history.append(entry)
-    payload = {
-        "workload": {
-            "scenario": scenario,
-            "msg_size": msg_size,
-            "duration": duration,
-        },
-        "history": history,
-    }
-    output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(report.format_engine_stats(stats))
+    if data_path == "fifo" and entry["data_path"] != "fifo":
+        raise RuntimeError("fifo bench variant did not exercise the FIFO path")
+    workload = {"scenario": scenario, "msg_size": msg_size, "duration": duration}
+    history = _append_entry(entry, workload, output, stats)
     print(f"simulated: {result.mbps:,.1f} Mbit/s, {result.drops} drops")
+    print(f"wrote {output} ({len(history)} history entries)")
+    return entry
+
+
+def run_sharded_bench(
+    shards: int = 2,
+    machines: int = 2,
+    msg_size: int = 4096,
+    duration: float = 0.5,
+    output: pathlib.Path = DEFAULT_OUTPUT,
+    reps: int = 3,
+) -> dict:
+    """Sharded scaling bench: the per-machine PDES mode of
+    :mod:`repro.sim.pdes` on a grid of ``machines`` Xen machines, each
+    running its own co-resident ``udp_stream`` pair.
+
+    ``shards`` is 1 (single worker, plain build -- the scaling baseline)
+    or ``machines``.  Wall-clock is measured in the parent around the
+    whole :func:`~repro.sim.pdes.run_sharded` call, fork+build included,
+    so the 1-shard and N-shard figures pay the same fixed costs and
+    their ratio is an honest speedup.  The entry records the shard
+    count, machine count, and null-message counters next to the merged
+    engine stats.
+    """
+    from repro.sim import pdes
+
+    spec = pdes.bench_grid_spec(machines, 2, msg_size, duration)
+    # Untimed warmup: fork/import/build once on a short variant.
+    pdes.run_sharded(pdes.bench_grid_spec(machines, 2, msg_size, 0.01), shards=shards)
+
+    best = None
+    for _ in range(max(1, reps)):
+        t0 = time.perf_counter()
+        sharded = pdes.run_sharded(spec, shards=shards)
+        wall = time.perf_counter() - t0
+        if best is None or wall < best[0]:
+            best = (wall, sharded)
+    wall, sharded = best
+    stats = dict(sharded.stats)
+    stats["wall_s"] = wall
+    stats["events_per_sec"] = stats["events"] / wall if wall > 0 else 0.0
+    agg = {"bytes_received": 0, "mbps": 0.0, "messages_sent": 0, "drops": 0}
+    for res in sharded.results:
+        for key in agg:
+            agg[key] += res["result"][key]
+    entry = {
+        "sha": _git_sha(),
+        "date": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "reps": max(1, reps),
+        "shards": shards,
+        "machines": machines,
+        "data_path": _detect_data_path(stats["serialization"]),
+        "events": stats["events"],
+        "sim_time": stats["sim_time"],
+        "wall_s": round(wall, 4),
+        "events_per_sec": round(stats["events_per_sec"], 1),
+        "result": agg,
+        "pdes": stats["pdes"],
+        "serialization": stats["serialization"],
+        "notify": stats["notify"],
+    }
+    workload = {
+        "scenario": spec.name,
+        "msg_size": msg_size,
+        "duration": duration,
+        "shards": shards,
+    }
+    history = _append_entry(entry, workload, output, stats)
+    print(f"simulated: {agg['mbps']:,.1f} Mbit/s total, {agg['drops']} drops")
+    baseline = next(
+        (
+            e
+            for e in reversed(history[:-1])
+            if e.get("shards") == 1
+            and e.get("machines") == machines
+            and e.get("data_path") == entry["data_path"]
+        ),
+        None,
+    )
+    if shards > 1 and baseline is not None:
+        speedup = entry["events_per_sec"] / baseline["events_per_sec"]
+        print(
+            f"speedup vs 1-shard baseline ({baseline['sha']}): {speedup:.2f}x "
+            f"at {shards} shards"
+        )
     print(f"wrote {output} ({len(history)} history entries)")
     return entry
 
@@ -162,8 +277,33 @@ def main() -> None:
     parser.add_argument("--duration", type=float, default=0.5)
     parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
     parser.add_argument("--reps", type=int, default=3, help="timed reps; best wall-clock is recorded")
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help="0 (default): the classic single-simulator bench; N>=1: the "
+        "sharded multi-machine scaling bench with N workers (1 or --machines)",
+    )
+    parser.add_argument(
+        "--machines", type=int, default=2,
+        help="machine count for the sharded bench grid (default: 2)",
+    )
+    parser.add_argument(
+        "--data-path", choices=("auto", "fifo"), default="auto",
+        help="'fifo' warms XenLoop channels up so the measured stream rides "
+        "the shared-FIFO path (classic bench only)",
+    )
     args = parser.parse_args()
-    run(args.scenario, args.msg_size, args.duration, args.output, reps=args.reps)
+    if args.shards > 0:
+        if args.data_path != "auto":
+            parser.error("--data-path is only supported on the classic bench (--shards 0)")
+        run_sharded_bench(
+            args.shards, args.machines, args.msg_size, args.duration,
+            args.output, reps=args.reps,
+        )
+    else:
+        run(
+            args.scenario, args.msg_size, args.duration, args.output,
+            reps=args.reps, data_path=args.data_path,
+        )
 
 
 if __name__ == "__main__":

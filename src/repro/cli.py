@@ -135,7 +135,7 @@ def cmd_faults(args) -> int:
     """Run the fault-injection matrix; nonzero exit on any failed cell."""
     from repro.scenarios.fault_matrix import run_fault_matrix
 
-    results = run_fault_matrix(seed=args.seed)
+    results = run_fault_matrix(seed=args.seed, shards=args.shards)
     print(report.format_fault_matrix(results))
     return 0 if all(r["ok"] for r in results) else 1
 
@@ -157,6 +157,11 @@ def main(argv: list[str] | None = None) -> int:
     tr.add_argument("scenario", nargs="?", choices=list(scenarios.SCENARIO_BUILDERS))
     flt = sub.add_parser("faults", help="fault-injection matrix sweep")
     flt.add_argument("--seed", type=int, default=0)
+    flt.add_argument(
+        "--shards", type=int, default=1, choices=(1, 2),
+        help="2: run each cell under the two-shard PDES mode "
+        "(fault recovery across the process boundary)",
+    )
 
     args = parser.parse_args(argv)
     handlers = {

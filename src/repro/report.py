@@ -146,6 +146,32 @@ def format_engine_stats(stats: Mapping[str, float]) -> str:
             f"recovered[{_counts(flt['recovered'])}]  "
             f"degraded[{_counts(flt['degraded'])}]"
         )
+    pdes = stats.get("pdes")
+    if pdes:
+        lines.append(
+            "pdes: "
+            f"shards={pdes.get('shards', '?')}  "
+            f"nulls={pdes.get('null_sent', 0):,} sent/"
+            f"{pdes.get('null_recv', 0):,} recv  "
+            f"frames={pdes.get('frames_out', 0):,} out/"
+            f"{pdes.get('frames_in', 0):,} in  "
+            f"blocked={pdes.get('blocked_s', 0.0):.3f}s"
+        )
+    shards = stats.get("shards")
+    if shards:
+        for sh in shards:
+            wall = sh.get("wall_s")
+            rate = sh.get("events_per_sec")
+            blocked = sh.get("blocked_s")
+            parts = [f"events={sh['events']:,}"]
+            if wall is not None:
+                parts.append(f"wall={wall:.3f}s")
+            if rate is not None:
+                parts.append(f"rate={rate:,.0f}/s")
+            if blocked is not None and wall:
+                parts.append(f"blocked={blocked:.3f}s ({100.0 * blocked / wall:.0f}%)")
+            machine = sh.get("machine") or "-"
+            lines.append(f"  shard {sh['shard']} ({machine}): " + "  ".join(parts))
     return "\n".join(lines)
 
 

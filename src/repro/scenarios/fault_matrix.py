@@ -26,7 +26,14 @@ from repro.core.channel import Channel
 from repro.scenarios.base import Scenario
 from repro.scenarios.registry import scenario
 
-__all__ = ["MatrixCell", "fault_matrix", "matrix_cells", "run_cell", "run_fault_matrix"]
+__all__ = [
+    "MatrixCell",
+    "fault_matrix",
+    "matrix_cells",
+    "run_cell",
+    "run_cell_sharded",
+    "run_fault_matrix",
+]
 
 #: cost overrides that make one cell fast: frequent announcements (the
 #: connector's retry clock) and a short ack timeout.
@@ -161,7 +168,7 @@ def matrix_cells() -> list[MatrixCell]:
     return cells
 
 
-def _build_pair(costs: CostModel, seed: int, machines: int = 1) -> topology.Cluster:
+def _pair_spec(machines: int = 1) -> topology.ClusterSpec:
     """Two XenLoop guests on one machine (plus an optional empty second
     machine as a migration target, with its own Dom0 discovery)."""
     mspecs = [
@@ -175,12 +182,15 @@ def _build_pair(costs: CostModel, seed: int, machines: int = 1) -> topology.Clus
     ]
     if machines > 1:
         mspecs.append(topology.MachineSpec(name="xenB", discovery=True))
-    spec = topology.ClusterSpec(
+    return topology.ClusterSpec(
         name="fault_matrix",
         machines=tuple(mspecs),
         expect_channels=False,
     )
-    return spec.build(costs, seed=seed)
+
+
+def _build_pair(costs: CostModel, seed: int, machines: int = 1) -> topology.Cluster:
+    return _pair_spec(machines).build(costs, seed=seed)
 
 
 # ---------------------------------------------------------------------------
@@ -240,10 +250,9 @@ def _check_invariants(cluster: topology.Cluster, received: int, sent: int, cell:
     return problems
 
 
-def run_cell(cell: MatrixCell, costs: CostModel = MATRIX_COSTS, seed: int = 0) -> dict:
-    """Build, fault, drive, settle, unload, check one cell."""
-    cluster = _build_pair(costs, seed, machines=cell.machines)
-    plan = faults.FaultPlan(cell.rules, seed=seed).bind(cluster)
+def _exercise_cell(cluster: topology.Cluster, cell: MatrixCell) -> int:
+    """Drive, settle, and unload one cell's traffic on ``cluster``;
+    returns the number of datagrams the server received."""
     sim = cluster.sim
 
     src, dst_ip = cluster.node_a, cluster.ip_b
@@ -281,8 +290,16 @@ def run_cell(cell: MatrixCell, costs: CostModel = MATRIX_COSTS, seed: int = 0) -
         proc = sim.process(module.unload(), name=f"unload-{name}")
         sim.run_until_complete(proc, timeout=30.0)
     sim.run(until=sim.now + 0.5)
+    return len(received)
 
-    problems = _check_invariants(cluster, len(received), N_DATAGRAMS, cell)
+
+def run_cell(cell: MatrixCell, costs: CostModel = MATRIX_COSTS, seed: int = 0) -> dict:
+    """Build, fault, drive, settle, unload, check one cell."""
+    cluster = _build_pair(costs, seed, machines=cell.machines)
+    plan = faults.FaultPlan(cell.rules, seed=seed).bind(cluster)
+    received = _exercise_cell(cluster, cell)
+
+    problems = _check_invariants(cluster, received, N_DATAGRAMS, cell)
     snap = plan.snapshot()
     return {
         "cell": cell.name,
@@ -291,17 +308,100 @@ def run_cell(cell: MatrixCell, costs: CostModel = MATRIX_COSTS, seed: int = 0) -
         "injected": snap["injected"],
         "recovered": snap["recovered"],
         "degraded": snap["degraded"],
-        "received": len(received),
+        "received": received,
         "sent": N_DATAGRAMS,
         # Calendar entries processed: two equal results mean the two
         # runs walked the same event stream (the determinism check).
-        "events": sim.event_count,
+        "events": cluster.sim.event_count,
     }
 
 
-def run_fault_matrix(costs: CostModel = MATRIX_COSTS, seed: int = 0) -> list[dict]:
-    """Run every cell of the sweep; returns one result dict per cell."""
-    return [run_cell(cell, costs, seed=seed) for cell in matrix_cells()]
+#: sim-time horizon the guestless peer shard idles out to under the
+#: sharded matrix.  Comfortably past the traffic shard's completion
+#: (~4.5 s with fault delays); cheap to overshoot -- the traffic shard's
+#: FIN lifts the peer's horizon to infinity and it fast-forwards.
+_SHARD_HORIZON = N_DATAGRAMS * GAP + SETTLE + 4.5
+
+
+def run_cell_sharded(cell: MatrixCell, costs: CostModel = MATRIX_COSTS, seed: int = 0) -> dict:
+    """One cell under the 2-shard PDES mode of :mod:`repro.sim.pdes`.
+
+    The pair topology always gets the second (guestless, discovery-only)
+    machine here, and the two machines run as separate shard processes:
+    fault injection, recovery, and the leak invariants are exercised
+    with the conservative null-message protocol between them.  The
+    traffic shard (the one holding vm1/vm2) runs the same drive /
+    settle / unload sequence as :func:`run_cell`; the peer shard idles
+    its Dom0 discovery out to a fixed horizon and then runs the same
+    invariant checks on its side.
+
+    ``migrate:*`` cells fall back to :func:`run_cell`: live migration
+    across shard processes would move a guest between simulators, which
+    the sharded mode rejects by design.
+    """
+    from repro.sim import pdes
+
+    if any(rule.kind == faults.MIGRATE for rule in cell.rules):
+        result = run_cell(cell, costs, seed=seed)
+        result["shards"] = 1
+        result["detail"] = (
+            result["detail"] or "cross-shard migration unsupported; ran unsharded"
+        )
+        return result
+
+    spec = _pair_spec(machines=2)
+
+    def script(cluster: topology.Cluster) -> dict:
+        if "vm1" in cluster.guests:
+            received = _exercise_cell(cluster, cell)
+            problems = _check_invariants(cluster, received, N_DATAGRAMS, cell)
+            return {"received": received, "problems": problems}
+        # Guestless peer shard: keep Dom0 discovery alive (and the
+        # null-message protocol promising) past the traffic shard's
+        # lifetime, then run the leak checks on this side too.
+        cluster.sim.run(until=_SHARD_HORIZON)
+        problems = _check_invariants(cluster, 0, 0, cell)
+        return {"received": None, "problems": problems}
+
+    sharded = pdes.run_sharded(
+        spec,
+        shards=2,
+        costs=costs,
+        seed=seed,
+        script=script,
+        fault_rules=cell.rules,
+        fault_seed=seed,
+    )
+    problems = [p for res in sharded.results for p in res["problems"]]
+    received = next(
+        res["received"] for res in sharded.results if res["received"] is not None
+    )
+    snap = sharded.stats.get("faults") or {"injected": {}, "recovered": {}, "degraded": {}}
+    return {
+        "cell": cell.name,
+        "ok": not problems,
+        "detail": "; ".join(problems),
+        "injected": snap["injected"],
+        "recovered": snap["recovered"],
+        "degraded": snap["degraded"],
+        "received": received,
+        "sent": N_DATAGRAMS,
+        "events": sharded.stats["events"],
+        "shards": 2,
+    }
+
+
+def run_fault_matrix(
+    costs: CostModel = MATRIX_COSTS, seed: int = 0, shards: int = 1
+) -> list[dict]:
+    """Run every cell of the sweep; returns one result dict per cell.
+
+    ``shards=2`` runs each cell under the two-shard PDES mode (see
+    :func:`run_cell_sharded`); the default keeps the classic
+    single-simulator per cell.
+    """
+    runner = run_cell_sharded if shards > 1 else run_cell
+    return [runner(cell, costs, seed=seed) for cell in matrix_cells()]
 
 
 @scenario(description="Two XenLoop guests with a recoverable fault plan bound.")

@@ -527,6 +527,48 @@ class Simulator:
             self._event_count += count
         self.now = until
 
+    def run_bounded(self, limit: float, stop: Optional[Process] = None) -> bool:
+        """Process every event with ``time <= limit``; never advances
+        ``now`` past the last processed event.
+
+        This is the shard-aware inner loop used by the conservative-PDES
+        layer (:mod:`repro.sim.pdes`): a shard may only execute events up
+        to its current safe-time horizon, so unlike :meth:`run` the clock
+        is left at the last event processed -- the caller owns the
+        decision to advance ``now`` to the horizon (or inject imported
+        events first).  With ``stop`` given, processing also halts the
+        moment that process completes (checked before each pop, exactly
+        like :meth:`run_until_complete`).  Returns True iff ``stop``
+        completed.  Same pop-then-restore structure as :meth:`run`.
+        """
+        ready = self._ready
+        queue = self._queue
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        popleft = ready.popleft
+        pending = PENDING
+        count = 0
+        try:
+            while ready or queue:
+                if stop is not None and stop._state != pending:
+                    return True
+                if ready and (not queue or ready[0] < queue[0]):
+                    entry = popleft()
+                    if entry[0] > limit:
+                        ready.appendleft(entry)
+                        break
+                else:
+                    entry = heappop(queue)
+                    if entry[0] > limit:
+                        heappush(queue, entry)
+                        break
+                self.now = entry[0]
+                count += 1
+                entry[2]._process()
+        finally:
+            self._event_count += count
+        return stop is not None and stop._state != pending
+
     def run_until_complete(self, process: Process, timeout: Optional[float] = None) -> Any:
         """Run until ``process`` finishes and return its value.
 

@@ -1,0 +1,624 @@
+"""Sharded conservative parallel simulation (multiprocess PDES).
+
+The single-core engine tops out around 300k events/s, and profiling
+attributes most of the remaining wall time to model code -- the next
+factor comes from parallelism.  This module partitions a
+:class:`~repro.topology.ClusterSpec` into one simulator *shard per
+physical machine*, runs every shard in its own OS process, and couples
+the shards with the classic conservative null-message protocol
+(Chandy-Misra-Bryant), using the inter-machine wire latency as
+lookahead.
+
+Why per-machine shards work
+---------------------------
+The only state shared between machines is the switched ethernet
+segment: every cross-machine interaction is a bridged frame, and a
+frame leaving machine A at time ``t`` cannot affect machine B before ::
+
+    t + switch_latency + wire_time(frame) + nic_rx_latency
+
+The minimum over all frames (a bare ethernet header) is the protocol's
+**lookahead** ``L`` (~42 us with the default cost model) -- every shard
+can always safely execute ``L`` beyond what its peers have committed
+to, no matter what they are about to send.
+
+Protocol
+--------
+Shards exchange three message kinds over per-pair OS pipes:
+
+``("F", t_send, arrival, seq, blob)``
+    an exported frame.  ``arrival`` bakes in the full latency chain, so
+    the importer delivers straight to its NICs at that timestamp.  A
+    frame is also an implicit promise: the sender executes in time
+    order, so nothing with send-time ``< t_send`` can follow, and the
+    receiver can raise that channel's earliest-input-time (EIT) to
+    ``t_send + L``.
+``("N", eot)``
+    a null message: "nothing from me will arrive before ``eot``".
+``("X",)``
+    shard finished (EIT becomes +inf; a broken pipe means the same).
+
+Each shard's **horizon** is the min EIT over its peers; the round loop
+commits buffered imports strictly below the horizon, runs local events
+up to it, announces a new earliest-output-time, and blocks on the pipes
+only when nothing else made progress.
+
+Determinism contract
+--------------------
+For a fixed shard count, runs are bit-identical because every ordering
+decision is simulation-derived, never wall-clock-derived:
+
+* imports are committed only when the horizon is *strictly* above their
+  arrival -- the pipes are FIFO and a frame implies its own promise, so
+  at that point every import at that arrival (from every peer) is
+  already buffered;
+* same-arrival imports are delivered back-to-back in sorted
+  ``(arrival, src_shard, src_seq)`` order, after all local events at
+  times ``<= arrival`` (local-first rule);
+* the clock only ever takes event times, import arrivals, and the
+  caller's explicit ``until`` -- never a horizon value.
+
+One shard (``shards=1``) skips the runtime entirely and builds through
+the ordinary :meth:`ClusterSpec.build`, so it stays bit-identical to
+the unsharded goldens.
+
+When sharding is a loss
+-----------------------
+Null messages creep: two idle shards raise each other's horizon by only
+``L`` per exchange, so long quiet stretches (settle phases) cost
+``gap / L`` round trips of pure synchronization.  Sharding pays off
+when per-shard event density is high and cross-shard traffic sparse --
+exactly the co-resident-workload cluster shape -- and is a loss for
+chatty cross-machine workloads, short runs dominated by process
+startup, or a box without a free core per shard.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import multiprocessing
+import time
+import traceback
+from multiprocessing.connection import wait as _conn_wait
+from typing import Callable, Optional
+
+from repro.calibration import DEFAULT_COSTS, CostModel
+from repro.net.ethernet import ETH_HEADER_LEN
+from repro.sim.engine import PENDING, SimulationError, Simulator, _INF
+from repro.sim.rng import make_shard_seeds
+
+__all__ = [
+    "CoupledSimulator",
+    "ShardedRun",
+    "bench_grid_spec",
+    "lookahead",
+    "run_local_workloads",
+    "run_sharded",
+]
+
+#: default wall-clock budget for a whole sharded run (driver safety net).
+DEFAULT_TIMEOUT = 600.0
+
+
+def lookahead(costs: CostModel) -> float:
+    """Minimum cross-shard latency: the null-message lookahead ``L``.
+
+    The cheapest possible frame is a bare ethernet header; everything a
+    shard exports arrives at least ``L`` after it was sent."""
+    return costs.switch_latency + costs.wire_time(ETH_HEADER_LEN) + costs.nic_rx_latency
+
+
+class _ShardRuntime:
+    """Pipes, promises, and buffered imports for one shard process."""
+
+    def __init__(self, shard: int, n_shards: int, la: float, conns: dict):
+        self.shard = shard
+        self.n_shards = n_shards
+        self.lookahead = la
+        #: peer shard -> duplex Connection (removed once the peer FINs).
+        self.conns = dict(conns)
+        #: peer shard -> earliest input time promised by that peer.
+        self.eit = {peer: 0.0 for peer in conns}
+        #: buffered imports: heap of (arrival, src_shard, src_seq, blob).
+        self.buf: list = []
+        #: per-peer highest EOT we have promised (monotone; never renege).
+        self.sent_eot = {peer: -_INF for peer in conns}
+        self.out_seq = 0
+        self.sim: Optional[Simulator] = None  # bound by CoupledSimulator._couple
+        self.link = None  # bound by the worker once the ShardLink exists
+        # -- observability (profile_hotpath per-shard breakdown) --------
+        self.null_sent = 0
+        self.null_recv = 0
+        self.frames_out = 0
+        self.frames_in = 0
+        self.blocked_s = 0.0
+
+    # -- low-level sends (broken pipe == peer gone == FIN) --------------
+    def _send(self, peer: int, msg: tuple) -> None:
+        conn = self.conns.get(peer)
+        if conn is None:
+            return
+        try:
+            conn.send(msg)
+        except (BrokenPipeError, OSError):
+            self._finish_peer(peer)
+
+    def _finish_peer(self, peer: int) -> None:
+        conn = self.conns.pop(peer, None)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self.eit[peer] = _INF
+
+    # -- protocol --------------------------------------------------------
+    def send_frame(self, dest: Optional[int], t_send: float, arrival: float, blob: tuple) -> None:
+        """Export a frame to one peer (or all, for broadcast/flood)."""
+        self.out_seq += 1
+        msg = ("F", t_send, arrival, self.out_seq, blob)
+        promise = t_send + self.lookahead
+        self.frames_out += 1
+        targets = list(self.conns) if dest is None else (dest,)
+        for peer in targets:
+            self._send(peer, msg)
+            if promise > self.sent_eot.get(peer, -_INF):
+                self.sent_eot[peer] = promise
+
+    def drain(self) -> bool:
+        """Non-blocking: pull everything currently queued on the pipes."""
+        progressed = False
+        for peer in list(self.conns):
+            conn = self.conns.get(peer)
+            if conn is None:
+                continue
+            try:
+                while conn.poll():
+                    msg = conn.recv()
+                    progressed = True
+                    kind = msg[0]
+                    if kind == "F":
+                        _, t_send, arrival, seq, blob = msg
+                        heapq.heappush(self.buf, (arrival, peer, seq, blob))
+                        self.frames_in += 1
+                        promise = t_send + self.lookahead
+                        if promise > self.eit[peer]:
+                            self.eit[peer] = promise
+                    elif kind == "N":
+                        self.null_recv += 1
+                        if msg[1] > self.eit[peer]:
+                            self.eit[peer] = msg[1]
+                    else:  # "X": peer finished
+                        self._finish_peer(peer)
+                        break
+            except (EOFError, OSError):
+                self._finish_peer(peer)
+        return progressed
+
+    def horizon(self) -> float:
+        """Min promised earliest-input-time over every peer ever known."""
+        eit = self.eit
+        return min(eit.values()) if eit else _INF
+
+    def announce(self) -> None:
+        """Send a null message to every peer whose promise we can raise.
+
+        EOT = (earliest time we could possibly still execute) + L.  The
+        three sources of future execution are local events (``peek``),
+        buffered imports, and imports not yet received (>= horizon)."""
+        sim = self.sim
+        nxt = sim.peek()
+        if self.buf and self.buf[0][0] < nxt:
+            nxt = self.buf[0][0]
+        h = self.horizon()
+        if h < nxt:
+            nxt = h
+        eot = nxt + self.lookahead
+        for peer in list(self.conns):
+            if eot > self.sent_eot.get(peer, -_INF):
+                self.sent_eot[peer] = eot
+                self.null_sent += 1
+                self._send(peer, ("N", eot))
+
+    def wait_any(self, timeout: float) -> None:
+        """Block until any peer pipe is readable (counts stall time)."""
+        conns = list(self.conns.values())
+        if not conns:
+            return
+        t0 = time.perf_counter()
+        _conn_wait(conns, timeout)
+        self.blocked_s += time.perf_counter() - t0
+
+    def finish(self) -> None:
+        """Announce completion, then keep the pipes drained until every
+        peer has finished too -- a still-running peer must never block
+        on a pipe we stopped reading."""
+        for peer in list(self.conns):
+            self._send(peer, ("X",))
+        deadline = time.monotonic() + 60.0
+        while self.conns and time.monotonic() < deadline:
+            self.drain()
+            if self.conns:
+                self.wait_any(0.05)
+
+    def counters(self) -> dict:
+        return {
+            "shard": self.shard,
+            "null_sent": self.null_sent,
+            "null_recv": self.null_recv,
+            "frames_out": self.frames_out,
+            "frames_in": self.frames_in,
+            "blocked_s": self.blocked_s,
+        }
+
+
+class CoupledSimulator(Simulator):
+    """A :class:`Simulator` that honours a conservative PDES horizon.
+
+    Uncoupled (no runtime bound) it behaves exactly like the base
+    engine.  Coupled, ``run``/``run_until_complete`` route through the
+    round loop that interleaves local execution with import commits and
+    null-message exchange; the base class's fast paths are untouched.
+    """
+
+    def __init__(self, strict: bool = True, seed=0):
+        super().__init__(strict=strict, seed=seed)
+        self._shard_runtime: Optional[_ShardRuntime] = None
+
+    def _couple(self, runtime: _ShardRuntime) -> None:
+        self._shard_runtime = runtime
+        runtime.sim = self
+
+    # -- public API overrides -------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        if self._shard_runtime is None:
+            return super().run(until)
+        if until is not None and until < self.now:
+            raise SimulationError(f"until={until} is in the past (now={self.now})")
+        self._run_coupled(until=until)
+
+    def run_until_complete(self, process, timeout: Optional[float] = None):
+        if self._shard_runtime is None:
+            return super().run_until_complete(process, timeout)
+        deadline = _INF if timeout is None else self.now + timeout
+        self._run_coupled(stop=process, deadline=deadline)
+        if not process.ok:
+            raise process.value
+        return process.value
+
+    # -- the round loop --------------------------------------------------
+    def _run_coupled(
+        self,
+        until: Optional[float] = None,
+        stop=None,
+        deadline: float = _INF,
+    ) -> None:
+        rt = self._shard_runtime
+        buf = rt.buf
+        link = rt.link
+        limit = _INF if until is None else until
+        from repro.net.devices import decode_frame
+
+        while True:
+            rt.drain()
+            h = rt.horizon()
+            progressed = False
+
+            # 1. Commit imports strictly below the horizon.  Strictness
+            # guarantees completeness: once h > arrival, every frame at
+            # that arrival from every peer is already buffered (FIFO
+            # pipes + the implicit frame promise).
+            while buf and buf[0][0] < h and buf[0][0] <= limit:
+                arrival = buf[0][0]
+                # Local-first rule: finish everything at times <= arrival
+                # before the imports materialize.
+                if self.run_bounded(arrival, stop):
+                    break
+                if self.now < arrival:
+                    self.now = arrival
+                while buf and buf[0][0] == arrival:
+                    _, src, _seq, blob = heapq.heappop(buf)
+                    link.import_frame(src, decode_frame(blob))
+                progressed = True
+
+            # 2. Run local events up to the horizon (inclusive: an import
+            # at exactly h is delivered after local events there, per the
+            # local-first rule, so execution at h is safe).
+            bound = h if h < limit else limit
+            if self.peek() <= bound:
+                self.run_bounded(bound, stop)
+                progressed = True
+
+            # 3. Termination.
+            if stop is not None:
+                if stop._state != PENDING:
+                    rt.announce()
+                    return
+                no_pending_input = not buf or buf[0][0] > deadline
+                if h > deadline and self.peek() > deadline and no_pending_input:
+                    raise SimulationError(f"timeout waiting for {stop.name}")
+                if not rt.conns and not buf and self.peek() == _INF:
+                    raise SimulationError(f"deadlock: {stop.name} never finished")
+            elif until is not None:
+                # h > until means every import at arrival <= until was
+                # already committed (strictly-below rule); anything left
+                # in buf is beyond until and waits for the next run call.
+                if h > until and self.peek() > until:
+                    self.now = until
+                    rt.announce()
+                    return
+            else:
+                if not rt.conns and not buf and self.peek() == _INF:
+                    return
+
+            # 4. Promise, then block only if this round achieved nothing.
+            rt.announce()
+            if not progressed:
+                rt.wait_any(0.05)
+
+
+@dataclasses.dataclass
+class ShardedRun:
+    """Result of :func:`run_sharded`."""
+
+    #: per-shard entry dicts: shard, machine, stats, pdes, result.
+    shards: list
+    #: merged engine/serialization/notify/pdes stats (trace.merge_shard_stats).
+    stats: dict
+    #: concatenated per-shard script results, in shard order.
+    results: list
+
+
+def run_local_workloads(cluster) -> list:
+    """Default shard script: run the spec workloads whose client lives on
+    this shard, sequentially, returning plain-dict results (picklable)."""
+    from repro.workloads import netperf
+
+    out = []
+    for wl in cluster.spec.workloads if cluster.spec else ():
+        if wl.client not in cluster.guests:
+            continue
+        fn = getattr(netperf, wl.kind, None)
+        if fn is None:
+            raise ValueError(f"unknown workload kind {wl.kind!r}")
+        result = fn(cluster.view(wl.client, wl.server), **wl.params)
+        out.append(
+            {
+                "kind": wl.kind,
+                "client": wl.client,
+                "server": wl.server,
+                "result": dataclasses.asdict(result),
+            }
+        )
+    return out
+
+
+def _close_foreign_conns(all_conns: dict, mine: int) -> None:
+    # fork() hands every worker the whole pipe mesh; close the pairs that
+    # are not ours so EOF propagates when a peer dies.
+    for owner, peers in all_conns.items():
+        for conn in peers.values():
+            if owner != mine:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+
+def _shard_worker(
+    spec,
+    shard: int,
+    n_shards: int,
+    costs: CostModel,
+    seed,
+    all_conns: dict,
+    result_conn,
+    script: Optional[Callable],
+    fault_rules: tuple,
+    fault_seed: int,
+) -> None:
+    try:
+        # Reset process-global state inherited through fork: stats
+        # accumulators and the guest MAC counter (rebased per shard by
+        # build_shard so MACs match the unsharded build).
+        from repro import trace
+        from repro.net.nic import ShardLink
+        from repro.net.packet import WIRE_STATS
+        from repro.topology import build_shard
+        from repro.xen.event_channel import NOTIFY_STATS
+
+        WIRE_STATS.reset()
+        NOTIFY_STATS.reset()
+        _close_foreign_conns(all_conns, shard)
+
+        t0 = time.perf_counter()
+        rt = None
+        if n_shards == 1:
+            # Single shard: the ordinary build path, bit-identical to an
+            # unsharded run (same Simulator, same seed, same phases).
+            cluster = spec.build(costs, seed=seed)
+            machine = None
+        else:
+            sim = CoupledSimulator(seed=seed)
+            rt = _ShardRuntime(shard, n_shards, lookahead(costs), all_conns[shard])
+            sim._couple(rt)
+            link = ShardLink(sim, costs, rt)
+            rt.link = link
+            cluster = build_shard(spec, shard, costs, sim, link)
+            machine = spec.machines[shard].name
+        if fault_rules:
+            from repro.faults import FaultPlan
+
+            FaultPlan(list(fault_rules), seed=fault_seed).bind(cluster)
+        if rt is not None:
+            rt.announce()  # initial promise unblocks the peers
+        result = (script or run_local_workloads)(cluster)
+        wall = time.perf_counter() - t0
+        if rt is not None:
+            rt.finish()
+        entry = {
+            "shard": shard,
+            "machine": machine,
+            "stats": trace.engine_stats(cluster.sim, wall),
+            "pdes": rt.counters() if rt is not None else None,
+            "result": result,
+        }
+        result_conn.send(("ok", shard, entry))
+    except BaseException:
+        try:
+            result_conn.send(("error", shard, traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        try:
+            result_conn.close()
+        except OSError:
+            pass
+
+
+def _resolve_shards(spec, shards: Optional[int]) -> int:
+    n_machines = len(spec.machines)
+    n = n_machines if shards is None else shards
+    if n != 1 and n != n_machines:
+        raise ValueError(
+            f"shards must be 1 or the machine count ({n_machines}), not {n}: "
+            "the partition unit is one shard per MachineSpec"
+        )
+    if n > 1:
+        home = {g.name: m.name for m in spec.machines for g in m.guests}
+        for wl in spec.workloads:
+            if home.get(wl.client) != home.get(wl.server):
+                raise ValueError(
+                    f"workload {wl.kind} {wl.client}->{wl.server} spans shards; "
+                    "sharded runs need co-resident workload pairs"
+                )
+        for act in spec.churn:
+            if act.action == "migrate":
+                raise ValueError("cross-machine migration is not supported under sharding")
+    return n
+
+
+def run_sharded(
+    spec,
+    shards: Optional[int] = None,
+    costs: CostModel = DEFAULT_COSTS,
+    seed: int = 0,
+    script: Optional[Callable] = None,
+    fault_rules: tuple = (),
+    fault_seed: int = 0,
+    timeout: float = DEFAULT_TIMEOUT,
+) -> ShardedRun:
+    """Run ``spec`` partitioned into one shard per machine.
+
+    ``shards`` must be 1 (plain build in a single worker -- the
+    bit-identical baseline) or ``len(spec.machines)``.  ``script`` is a
+    callable ``(cluster) -> picklable`` executed inside each worker
+    (default: :func:`run_local_workloads`); with fork start method it
+    may be a closure.  ``fault_rules`` are rebuilt into a
+    :class:`~repro.faults.FaultPlan` inside each worker.
+
+    Returns a :class:`ShardedRun`; raises RuntimeError when any worker
+    errors or the wall-clock ``timeout`` expires.
+    """
+    n = _resolve_shards(spec, shards)
+    seeds = make_shard_seeds(seed, n)
+    ctx = multiprocessing.get_context("fork")
+
+    all_conns: dict[int, dict] = {i: {} for i in range(n)}
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = ctx.Pipe(duplex=True)
+            all_conns[i][j] = a
+            all_conns[j][i] = b
+
+    workers = []
+    for i in range(n):
+        recv_end, send_end = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_shard_worker,
+            args=(spec, i, n, costs, seeds[i], all_conns, send_end, script,
+                  tuple(fault_rules), fault_seed),
+            name=f"shard-{i}",
+        )
+        proc.start()
+        send_end.close()
+        workers.append((proc, recv_end))
+    # The parent holds a copy of every data-pipe end; close them all so
+    # worker death surfaces as EOF on the survivors' pipes.
+    for peers in all_conns.values():
+        for conn in peers.values():
+            conn.close()
+
+    entries: list = [None] * n
+    errors: list[str] = []
+    wall_deadline = time.monotonic() + timeout
+    for i, (proc, recv_end) in enumerate(workers):
+        remaining = wall_deadline - time.monotonic()
+        if remaining <= 0 or not recv_end.poll(remaining):
+            errors.append(f"shard {i}: no result within {timeout:.0f}s")
+            continue
+        try:
+            status, idx, payload = recv_end.recv()
+        except EOFError:
+            errors.append(f"shard {i}: worker exited without a result")
+            continue
+        if status == "ok":
+            entries[idx] = payload
+        else:
+            errors.append(f"shard {idx} failed:\n{payload}")
+
+    for proc, recv_end in workers:
+        proc.join(timeout=5.0)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5.0)
+        try:
+            recv_end.close()
+        except OSError:
+            pass
+
+    if errors:
+        raise RuntimeError("sharded run failed:\n" + "\n".join(errors))
+
+    from repro import trace
+
+    results: list = []
+    for entry in entries:
+        results.extend(entry["result"] if isinstance(entry["result"], list) else [entry["result"]])
+    return ShardedRun(shards=entries, stats=trace.merge_shard_stats(entries), results=results)
+
+
+def bench_grid_spec(
+    n_machines: int = 2,
+    guests_per_machine: int = 2,
+    msg_size: int = 4096,
+    duration: float = 0.5,
+):
+    """The sharded-bench topology: ``n_machines`` Xen machines, each with
+    its own co-resident udp_stream pair, so per-shard load is identical
+    and cross-shard traffic is discovery/ARP only -- the shape where the
+    per-machine partition should scale."""
+    from repro.topology import ClusterSpec, GuestSpec, MachineSpec, WorkloadSpec
+
+    if guests_per_machine < 2:
+        raise ValueError("each machine needs >= 2 guests for a co-resident pair")
+    machines = []
+    workloads = []
+    for i in range(n_machines):
+        guests = [GuestSpec(f"m{i}g{j}") for j in range(guests_per_machine)]
+        machines.append(MachineSpec(f"xen{i}", guests=guests))
+        workloads.append(
+            WorkloadSpec(
+                "udp_stream",
+                client=f"m{i}g0",
+                server=f"m{i}g1",
+                params={"msg_size": msg_size, "duration": duration},
+            )
+        )
+    return ClusterSpec(
+        name=f"bench_grid_{n_machines}x{guests_per_machine}",
+        machines=machines,
+        workloads=workloads,
+        expect_channels=False,
+    )

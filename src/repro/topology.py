@@ -56,6 +56,8 @@ __all__ = [
     "GuestSpec",
     "MachineSpec",
     "WorkloadSpec",
+    "build_shard",
+    "shard_guest_mac_offset",
 ]
 
 #: OUI base for auto-assigned physical NIC MACs (matches the paper
@@ -335,23 +337,50 @@ class ClusterSpec:
         return (names[0], names[1]) if len(names) > 1 else (names[0], names[0])
 
     # -- construction --------------------------------------------------
-    def build(self, costs: CostModel = DEFAULT_COSTS, seed: int = 0) -> Cluster:
-        """Materialise the cluster (fixed phase order; see module doc)."""
-        sim = Simulator(seed=seed)
-        switch = EthernetSwitch(sim, costs) if self.needs_switch() else None
+    def build(
+        self,
+        costs: CostModel = DEFAULT_COSTS,
+        seed: int = 0,
+        *,
+        _sim: Optional[Simulator] = None,
+        _switch: Optional[EthernetSwitch] = None,
+        _local: Optional[set] = None,
+        _phys_mac_base: int = _PHYS_MAC_BASE,
+    ) -> Cluster:
+        """Materialise the cluster (fixed phase order; see module doc).
+
+        The underscored keywords are the sharded-build hooks used by
+        :func:`build_shard` (never by user code): ``_sim`` injects a
+        pre-made simulator, ``_switch`` a pre-made uplink (the
+        :class:`~repro.net.nic.ShardLink`), ``_local`` restricts
+        construction to the named machines, and ``_phys_mac_base``
+        offsets auto-assigned physical MACs so a shard allocates exactly
+        the addresses its machines would have received in the unsharded
+        build.  All default to the historical behaviour, so the ordinary
+        path is byte-for-byte unchanged.
+        """
+        sim = Simulator(seed=seed) if _sim is None else _sim
+        if _switch is not None:
+            switch = _switch
+        else:
+            switch = EthernetSwitch(sim, costs) if self.needs_switch() else None
 
         # Phase 1: machine shells (constructors spawn no processes).
         machines: list[tuple[MachineSpec, object]] = []
         for mspec in self.machines:
+            if _local is not None and mspec.name not in _local:
+                continue
             cls = XenMachine if mspec.kind == "xen" else Machine
             machines.append((mspec, cls(sim, costs, mspec.name, n_cores=mspec.n_cores)))
 
         # Phase 2: network attachment, per machine in declaration order.
         # Xen machines join the switch through Dom0's bridge; native
         # machines get their host nodes, stacks and (switched) NICs here.
+        # IPs are allocated from the FULL spec even under ``_local``:
+        # a guest keeps its global 10.0.0.<n> address in every shard.
         ips = {gspec.name: ip for gspec, ip in _ip_allocator(self)}
         guests: dict[str, Node] = {}
-        next_phys_mac = _PHYS_MAC_BASE
+        next_phys_mac = _phys_mac_base
 
         def _phys_mac(override: Optional[str]) -> MacAddr:
             nonlocal next_phys_mac
@@ -413,20 +442,32 @@ class ClusterSpec:
                 discoveries.append(DiscoveryModule(machine))
 
         end_a, end_b = self.resolved_endpoints()
-        node_a, node_b = guests[end_a], guests[end_b]
+        if _local is not None and (end_a not in guests or end_b not in guests):
+            # Shard build without the declared endpoints: aim both at
+            # the first local guest (workload views re-aim per pair), or
+            # at nothing for a guestless shard (discovery-only Dom0).
+            local_names = list(guests)
+            end_a = end_b = local_names[0] if local_names else None
+        if end_a is None:
+            node_a = node_b = ip_a = ip_b = None
+            expect_channels = True
+        else:
+            node_a, node_b = guests[end_a], guests[end_b]
+            ip_a, ip_b = ips[end_a], ips[end_b]
+            expect_channels = self._resolve_expect_channels(modules, end_a, end_b)
         return Cluster(
             name=self.name,
             sim=sim,
             costs=costs,
             node_a=node_a,
             node_b=node_b,
-            ip_a=ips[end_a],
-            ip_b=ips[end_b],
+            ip_a=ip_a,
+            ip_b=ip_b,
             machines=[m for _, m in machines],
             switch=switch,
             modules=modules,
             discovery=discoveries[0] if discoveries else None,
-            expect_channels=self._resolve_expect_channels(modules, end_a, end_b),
+            expect_channels=expect_channels,
             spec=self,
             guests=guests,
             machines_by_name={mspec.name: m for mspec, m in machines},
@@ -460,6 +501,62 @@ def _module_class(kind: str):
 
         return SocketBypassModule
     raise ValueError(f"unknown guest module {kind!r}")
+
+
+def shard_guest_mac_offset(spec: ClusterSpec, shard_index: int) -> int:
+    """Auto guest MACs consumed before ``machines[shard_index]`` builds.
+
+    The unsharded build creates Xen guests in global declaration order,
+    consuming one auto-MAC each; a shard rebases the process-global
+    counter by this offset so every guest gets the same MAC it would
+    have had unsharded (see :func:`build_shard`)."""
+    return sum(
+        len(mspec.guests) for mspec in spec.machines[:shard_index] if mspec.kind == "xen"
+    )
+
+
+def _phys_mac_consumed(spec: ClusterSpec, shard_index: int) -> int:
+    """Auto physical-NIC MACs consumed before ``machines[shard_index]``.
+
+    Mirrors Phase 2 of :meth:`ClusterSpec.build`: one per Xen machine,
+    one per guest of a native machine, skipping explicit ``nic_mac``
+    overrides (which never touch the allocator)."""
+    count = 0
+    for mspec in spec.machines[:shard_index]:
+        if mspec.nic_mac is not None:
+            continue
+        count += 1 if mspec.kind == "xen" else len(mspec.guests)
+    return count
+
+
+def build_shard(
+    spec: ClusterSpec,
+    shard_index: int,
+    costs: CostModel,
+    sim: Simulator,
+    uplink: EthernetSwitch,
+) -> Cluster:
+    """Build the shard-local slice of ``spec``: machine
+    ``machines[shard_index]`` only, wired to ``uplink`` (a
+    :class:`~repro.net.nic.ShardLink`) in place of the cluster switch.
+
+    Address identity is preserved against the unsharded build -- same
+    IPs (global-position allocator), same guest MACs (counter rebased by
+    global guest position), same physical MACs (base offset by the
+    machines built on earlier shards) -- so traces and ARP/discovery
+    behaviour are comparable across shard counts.
+    """
+    from repro.xen.machine import reset_guest_mac_counter
+
+    reset_guest_mac_counter(shard_guest_mac_offset(spec, shard_index) + 1)
+    mspec = spec.machines[shard_index]
+    return spec.build(
+        costs,
+        _sim=sim,
+        _switch=uplink,
+        _local={mspec.name},
+        _phys_mac_base=_PHYS_MAC_BASE + _phys_mac_consumed(spec, shard_index),
+    )
 
 
 def _ip_allocator(spec: ClusterSpec):

@@ -32,6 +32,20 @@ __all__ = ["Machine", "XenMachine"]
 _mac_counter = itertools.count(1)
 
 
+def reset_guest_mac_counter(start: int = 1) -> None:
+    """Rebase the auto-assigned guest MAC counter.
+
+    The counter is process-global, so a forked shard worker inherits
+    whatever state the parent left behind.  Each worker rebases it to
+    its shard's global guest-position offset before building (see
+    :func:`repro.topology.build_shard`): every guest then gets the same
+    MAC it would have received in the equivalent unsharded build, and
+    workers can never collide with each other.
+    """
+    global _mac_counter
+    _mac_counter = itertools.count(start)
+
+
 class Machine:
     """Bare hardware: CPU cores and a name."""
 

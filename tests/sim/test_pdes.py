@@ -1,0 +1,157 @@
+"""Sharded-PDES unit tests: per-shard seed derivation, shard-count
+resolution, the cross-shard frame codec, and the lookahead constant.
+
+The end-to-end determinism contract (bit-identical sharded reruns,
+1-shard == unsharded) lives in tests/integration/test_determinism.py;
+this file covers the pieces in isolation.
+"""
+
+import pickle
+
+import pytest
+
+from repro import topology
+from repro.calibration import DEFAULT_COSTS
+from repro.net.addr import IPv4Addr, MacAddr
+from repro.net.devices import decode_frame, encode_frame
+from repro.net.ethernet import ETH_HEADER_LEN
+from repro.net.packet import IPPROTO_UDP, EthHeader, IPv4Header, Packet, UdpHeader
+from repro.sim import pdes
+from repro.sim.rng import DEFAULT_SEED, make_rng, make_shard_seeds
+
+
+class TestShardSeeds:
+    def test_single_shard_passes_seed_through(self):
+        # n=1 must NOT wrap the seed: the 1-shard path feeds it to the
+        # plain Simulator and must stay bit-identical to unsharded runs.
+        assert make_shard_seeds(42, 1) == [42]
+        assert make_shard_seeds(None, 1) == [DEFAULT_SEED]
+
+    def test_spawn_keys_are_distinct(self):
+        for n in (2, 3, 8):
+            seeds = make_shard_seeds(7, n)
+            assert len(seeds) == n
+            assert len({tuple(s.spawn_key) for s in seeds}) == n
+
+    def test_shard_streams_never_collide(self):
+        # First draw of every shard RNG, across shard indexes AND base
+        # seeds: all pairwise distinct (SeedSequence.spawn guarantees
+        # independent child states; a duplicate here would mean two
+        # shards replaying the same jitter stream).
+        draws = [
+            make_rng(s).random()
+            for base in (0, 1, 7, 12345)
+            for s in make_shard_seeds(base, 8)
+        ]
+        assert len(set(draws)) == len(draws)
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            make_shard_seeds(0, 0)
+
+
+class TestResolveShards:
+    def _grid(self, n_machines=2):
+        return pdes.bench_grid_spec(n_machines, 2, 4096, 0.01)
+
+    def test_accepts_one_and_machine_count(self):
+        spec = self._grid(3)
+        assert pdes._resolve_shards(spec, 1) == 1
+        assert pdes._resolve_shards(spec, 3) == 3
+        assert pdes._resolve_shards(spec, None) == 3  # default: per machine
+
+    def test_rejects_other_counts(self):
+        with pytest.raises(ValueError, match="shards must be 1 or"):
+            pdes._resolve_shards(self._grid(2), 3)
+
+    def test_rejects_cross_shard_workloads(self):
+        spec = self._grid(2)
+        crossed = topology.ClusterSpec(
+            name="crossed",
+            machines=spec.machines,
+            workloads=(
+                topology.WorkloadSpec("udp_stream", client="m0g0", server="m1g0"),
+            ),
+            expect_channels=False,
+        )
+        with pytest.raises(ValueError, match="spans shards"):
+            pdes._resolve_shards(crossed, 2)
+        # ...but a single shard holds the whole cluster, so it's fine.
+        assert pdes._resolve_shards(crossed, 1) == 1
+
+    def test_rejects_migrate_churn(self):
+        spec = self._grid(2)
+        churny = topology.ClusterSpec(
+            name="churny",
+            machines=spec.machines,
+            workloads=spec.workloads,
+            churn=(
+                topology.ChurnAction(
+                    at=0.1, action="migrate", guest="m0g0", to_machine="xen1"
+                ),
+            ),
+            expect_channels=False,
+        )
+        with pytest.raises(ValueError, match="migration is not supported"):
+            pdes._resolve_shards(churny, 2)
+
+
+class TestFrameCodec:
+    def _eth(self, ethertype=0x0800):
+        return EthHeader(
+            dst=MacAddr("00:16:3e:00:00:02"),
+            src=MacAddr("00:16:3e:00:00:01"),
+            ethertype=ethertype,
+        )
+
+    def test_ip_frame_roundtrip(self):
+        pkt = Packet(
+            payload=b"hello shard",
+            l4=UdpHeader(sport=1234, dport=5678),
+            ip=IPv4Header(
+                src=IPv4Addr("10.0.0.1"), dst=IPv4Addr("10.0.0.2"), proto=IPPROTO_UDP
+            ),
+            eth=self._eth(),
+        )
+        out = decode_frame(encode_frame(pkt))
+        assert out.eth.to_bytes() == pkt.eth.to_bytes()
+        assert out.to_l3_bytes() == pkt.to_l3_bytes()
+        assert out.payload == b"hello shard"
+        assert out.l4.dport == 5678
+        assert out.ip.src == pkt.ip.src
+
+    def test_non_ip_frame_roundtrip(self):
+        # ARP / discovery frames carry their serialized body in payload.
+        pkt = Packet(payload=b"\x00\x01arp-ish", eth=self._eth(0x0806))
+        out = decode_frame(encode_frame(pkt))
+        assert out.ip is None
+        assert out.payload == b"\x00\x01arp-ish"
+        assert out.eth.ethertype == 0x0806
+        assert out.eth.src == pkt.eth.src
+
+    def test_meta_is_dropped(self):
+        pkt = Packet(payload=b"x", eth=self._eth(0x0806))
+        pkt.meta["via"] = "trace-only"
+        assert decode_frame(encode_frame(pkt)).meta == {}
+
+    def test_blob_survives_pickling(self):
+        # The blob is what actually crosses the process pipe.
+        pkt = Packet(
+            payload=b"wire",
+            l4=UdpHeader(sport=1, dport=2),
+            ip=IPv4Header(
+                src=IPv4Addr("10.0.0.1"), dst=IPv4Addr("10.0.0.2"), proto=IPPROTO_UDP
+            ),
+            eth=self._eth(),
+        )
+        blob = encode_frame(pkt)
+        out = decode_frame(pickle.loads(pickle.dumps(blob)))
+        assert out.to_l3_bytes() == pkt.to_l3_bytes()
+
+
+class TestLookahead:
+    def test_lookahead_is_min_frame_latency(self):
+        c = DEFAULT_COSTS
+        expected = c.switch_latency + c.wire_time(ETH_HEADER_LEN) + c.nic_rx_latency
+        assert pdes.lookahead(c) == expected
+        assert pdes.lookahead(c) > 0.0

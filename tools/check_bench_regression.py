@@ -1,45 +1,83 @@
 """Gate CI on engine-throughput regressions.
 
-Compares the newest entry in ``BENCH_engine.json`` (appended by the
-bench-smoke step on this runner) against the previous history entry
-(committed from the last recorded run) and fails when events/s dropped
-by more than the allowed fraction.  CI runners are slower and noisier
-than the recording machine, so the default threshold is deliberately
-loose: it catches "someone made the hot path 20% slower", not 2% drift.
+Groups the history in ``BENCH_engine.json`` by benchmark configuration
+-- ``(shards, machines, data_path)``, where classic single-simulator
+entries are shards=0 and pre-annotation entries default to the xennet
+ring -- and, within every group holding at least two entries, compares the
+newest entry against the **median** of the group's earlier entries.
+Grouping keeps the comparison like-for-like: a 4-shard scaling entry
+is never measured against the 1-shard baseline, and a FIFO-path entry
+never against a ring-path one.  The median (rather than the immediate
+predecessor) keeps one lucky or unlucky recording from creating --
+or masking -- a regression for every run that follows.
+
+Shared runners swing hard between sessions (the recorded history spans
+200k-312k events/s for a bit-identical event stream), so the default
+threshold targets real hot-path damage, not scheduler weather: it
+catches "someone made the engine 1.7x slower", not 20% drift.
 
 Usage::
 
-    python tools/check_bench_regression.py [--history BENCH_engine.json] [--threshold 0.2]
+    python tools/check_bench_regression.py [--history BENCH_engine.json] [--threshold 0.4]
 
-Exits 0 when the history has fewer than two entries (nothing to compare)
-or the newest entry is within threshold; exits 1 on a regression.
+Exits 0 when every group is within threshold (groups with fewer than
+two entries are reported but not gated); exits 1 on any regression.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import sys
 from pathlib import Path
+
+
+def _group_key(entry: dict) -> tuple:
+    return (
+        entry.get("shards", 0),
+        entry.get("machines", 1),
+        entry.get("data_path", "xennet-ring"),
+    )
+
+
+def _group_label(key: tuple) -> str:
+    shards, machines, data_path = key
+    mode = "classic" if shards == 0 else f"{shards}-shard/{machines}-machine"
+    return f"[{mode} {data_path}]"
 
 
 def check(history_path: Path, threshold: float) -> int:
     data = json.loads(history_path.read_text())
     history = data.get("history", [])
-    if len(history) < 2:
-        print(f"{history_path}: {len(history)} history entries, nothing to compare")
-        return 0
-    prev, last = history[-2], history[-1]
-    prev_eps = prev["events_per_sec"]
-    last_eps = last["events_per_sec"]
-    floor = prev_eps * (1.0 - threshold)
-    verdict = "OK" if last_eps >= floor else "REGRESSION"
-    print(
-        f"{verdict}: {last.get('sha', '?')} {last_eps:,.0f} events/s vs "
-        f"{prev.get('sha', '?')} {prev_eps:,.0f} events/s "
-        f"(floor {floor:,.0f} = -{threshold:.0%})"
-    )
-    return 0 if last_eps >= floor else 1
+    groups: dict[tuple, list[dict]] = {}
+    for entry in history:
+        groups.setdefault(_group_key(entry), []).append(entry)
+
+    failed = False
+    compared = 0
+    for key in sorted(groups):
+        entries = groups[key]
+        label = _group_label(key)
+        if len(entries) < 2:
+            print(f"{label}: 1 entry, nothing to compare")
+            continue
+        last = entries[-1]
+        baseline = statistics.median(e["events_per_sec"] for e in entries[:-1])
+        last_eps = last["events_per_sec"]
+        floor = baseline * (1.0 - threshold)
+        ok = last_eps >= floor
+        compared += 1
+        failed = failed or not ok
+        print(
+            f"{'OK' if ok else 'REGRESSION'} {label}: "
+            f"{last.get('sha', '?')} {last_eps:,.0f} events/s vs "
+            f"median of {len(entries) - 1} prior {baseline:,.0f} events/s "
+            f"(floor {floor:,.0f} = -{threshold:.0%})"
+        )
+    if not compared:
+        print(f"{history_path}: no group has two entries, nothing to compare")
+    return 1 if failed else 0
 
 
 def main() -> int:
@@ -49,8 +87,8 @@ def main() -> int:
         help="bench history file (default: BENCH_engine.json)",
     )
     parser.add_argument(
-        "--threshold", default=0.2, type=float,
-        help="max allowed fractional drop vs previous entry (default: 0.2)",
+        "--threshold", default=0.4, type=float,
+        help="max allowed fractional drop vs the group median (default: 0.4)",
     )
     args = parser.parse_args()
     return check(args.history, args.threshold)
