@@ -4,7 +4,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-all bench-smoke bench-shard-smoke fault-matrix fault-matrix-shard examples clean
+.PHONY: install test bench bench-all bench-smoke bench-shard-smoke fault-matrix fault-matrix-shard snapshot-smoke examples clean
 
 install:
 	@$(PYTHON) -m pip install -e . 2>/dev/null || ( \
@@ -49,6 +49,15 @@ fault-matrix:
 # protocol boundary.
 fault-matrix-shard:
 	PYTHONPATH=src $(PYTHON) -m repro faults --shards 2
+
+# Checkpoint/warm-start smoke: snapshot mechanics + fork-equivalence
+# goldens, then a save -> digest-verified fork round trip through the
+# CLI (the time-travel path for replaying a failing fault cell).
+snapshot-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/sim/test_snapshot.py tests/integration/test_snapshot_fork.py -q
+	PYTHONPATH=src $(PYTHON) -m repro snapshot save --cell notify_drop --out /tmp/repro-snapshot-smoke.json
+	PYTHONPATH=src $(PYTHON) -m repro snapshot fork /tmp/repro-snapshot-smoke.json --cell notify_drop --runs 2
+	rm -f /tmp/repro-snapshot-smoke.json
 
 examples:
 	@for ex in examples/*.py; do echo "== $$ex =="; $(PYTHON) $$ex || exit 1; done

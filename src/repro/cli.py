@@ -5,10 +5,12 @@ Usage::
 
     python -m repro list
     python -m repro ping [scenario]
-    python -m repro snapshot            # Tables 1-3 in one run
+    python -m repro tables              # Tables 1-3 in one run
     python -m repro fig11               # migration timeline
     python -m repro bypass              # future-work socket bypass
     python -m repro faults              # fault-injection matrix sweep
+    python -m repro snapshot save ...   # checkpoint a built simulator
+    python -m repro snapshot fork ...   # replay a checkpoint N times
 """
 
 from __future__ import annotations
@@ -32,7 +34,7 @@ def cmd_list(_args) -> int:
     """List scenarios and available commands."""
     print("scenarios:")
     print(report.scenario_catalog())
-    print("\ncommands: list, ping, snapshot, fig11, bypass, trace, faults")
+    print("\ncommands: list, ping, tables, fig11, bypass, trace, faults, snapshot")
     print("full benchmark harness: pytest benchmarks/ --benchmark-only -s")
     return 0
 
@@ -48,7 +50,7 @@ def cmd_ping(args) -> int:
     return 0
 
 
-def cmd_snapshot(_args) -> int:
+def cmd_tables(_args) -> int:
     """Measure every Tables 1-3 metric across the four scenarios."""
     rows = {
         "flood ping RTT (us)": {},
@@ -135,9 +137,114 @@ def cmd_faults(args) -> int:
     """Run the fault-injection matrix; nonzero exit on any failed cell."""
     from repro.scenarios.fault_matrix import run_fault_matrix
 
-    results = run_fault_matrix(seed=args.seed, shards=args.shards)
+    results = run_fault_matrix(
+        seed=args.seed, shards=args.shards, warm=not args.cold
+    )
     print(report.format_fault_matrix(results))
     return 0 if all(r["ok"] for r in results) else 1
+
+
+def _snapshot_recipe(args) -> dict:
+    """Translate the ``snapshot save`` flags into a rebuild recipe."""
+    from repro.scenarios.fault_matrix import MATRIX_COSTS, matrix_cells
+    from repro.sim import snapshot as snapmod
+
+    if args.cell:
+        cells = {c.name: c for c in matrix_cells()}
+        if args.cell not in cells:
+            raise SystemExit(
+                f"unknown fault cell {args.cell!r}; choose from {sorted(cells)}"
+            )
+        return snapmod.fault_pair_recipe(
+            costs=MATRIX_COSTS, seed=args.seed, machines=cells[args.cell].machines
+        )
+    warm = {"max_wait": 30.0} if args.warm else None
+    return snapmod.scenario_recipe(args.scenario, seed=args.seed, warm=warm)
+
+
+def cmd_snapshot(args) -> int:
+    """Checkpoint tooling: save/restore/fork/inspect a built simulator.
+
+    ``save`` builds from a recipe (a scenario or the fault-matrix pair)
+    and writes the digest-carrying manifest; ``restore`` replays the
+    recipe and verifies the digest; ``fork`` replays and then forks N
+    bit-identical children (running the named fault cell, or a short UDP
+    probe) -- the time-travel loop for debugging a failing cell; and
+    ``inspect`` prints the captured state summary without rebuilding.
+    """
+    from repro.sim.snapshot import HAS_FORK, SimSnapshot
+
+    if args.action == "save":
+        recipe = _snapshot_recipe(args)
+        from repro.sim.snapshot import build_from_recipe
+
+        cluster = build_from_recipe(recipe)
+        snap = SimSnapshot.capture(cluster, recipe=recipe, label=args.label)
+        snap.save(args.out)
+        print(snap.inspect())
+        print(f"saved {args.out}")
+        return 0
+
+    snap = SimSnapshot.load(args.path)
+    if args.action == "inspect":
+        print(snap.inspect())
+        return 0
+
+    snap.restore()
+    print(f"restore OK: digest {snap.digest[:16]}... verified by replay")
+    if args.action == "restore":
+        print(snap.inspect())
+        return 0
+
+    # fork: N children off the restored image, results must be identical.
+    if not HAS_FORK:
+        print("snapshot fork requires os.fork (unavailable on this platform)")
+        return 1
+    recipe = snap.recipe or {}
+    seed = recipe.get("seed", 0)
+    if recipe.get("kind") == "fault_pair":
+        from repro.scenarios.fault_matrix import _run_cell_on, matrix_cells
+
+        cells = {c.name: c for c in matrix_cells()}
+        name = args.cell or next(iter(cells))
+        if name not in cells:
+            raise SystemExit(
+                f"unknown fault cell {name!r}; choose from {sorted(cells)}"
+            )
+        cell = cells[name]
+        if cell.machines != recipe.get("machines", 1):
+            raise SystemExit(
+                f"cell {name!r} needs machines={cell.machines}, but the "
+                f"snapshot was built with machines={recipe.get('machines', 1)}"
+            )
+
+        def probe(cluster):
+            return _run_cell_on(cluster, cell, seed)
+
+        what = f"fault cell {name!r}"
+    else:
+
+        def probe(cluster):
+            from repro.workloads import netperf as np
+
+            res = np.udp_stream(cluster, msg_size=4096, duration=0.02)
+            return {
+                "bytes_received": res.bytes_received,
+                "mbps": res.mbps,
+                "messages_sent": res.messages_sent,
+                "drops": res.drops,
+            }
+
+        what = "udp_stream probe"
+
+    runs = [snap.fork(probe) for _ in range(args.runs)]
+    for i, r in enumerate(runs):
+        print(f"run {i}: {r}")
+    if all(r == runs[0] for r in runs[1:]):
+        print(f"{args.runs} forked runs of the {what}: bit-identical")
+        return 0
+    print(f"DIVERGENCE across forked runs of the {what}")
+    return 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -150,7 +257,7 @@ def main(argv: list[str] | None = None) -> int:
     ping = sub.add_parser("ping", help="flood-ping one or all scenarios")
     ping.add_argument("scenario", nargs="?", choices=list(scenarios.SCENARIO_BUILDERS))
     ping.add_argument("--count", type=int, default=100)
-    sub.add_parser("snapshot", help="Tables 1-3 in one run")
+    sub.add_parser("tables", help="Tables 1-3 in one run")
     sub.add_parser("fig11", help="migration timeline (Fig. 11)")
     sub.add_parser("bypass", help="future-work socket bypass comparison")
     tr = sub.add_parser("trace", help="hop-by-hop ping timeline per path")
@@ -162,16 +269,48 @@ def main(argv: list[str] | None = None) -> int:
         help="2: run each cell under the two-shard PDES mode "
         "(fault recovery across the process boundary)",
     )
+    flt.add_argument(
+        "--cold", action="store_true",
+        help="build every cell from scratch instead of forking the warm "
+        "pair snapshot (results are identical either way)",
+    )
+    snp = sub.add_parser(
+        "snapshot", help="checkpoint tooling: save/restore/fork/inspect"
+    )
+    snp_sub = snp.add_subparsers(dest="action", required=True)
+    save = snp_sub.add_parser("save", help="build from a recipe and checkpoint it")
+    save.add_argument("--scenario", default="xenloop",
+                      choices=list(scenarios.SCENARIO_BUILDERS))
+    save.add_argument("--cell", default=None,
+                      help="checkpoint the fault-matrix pair instead (any cell "
+                      "name picks the machine count)")
+    save.add_argument("--seed", type=int, default=0)
+    save.add_argument("--warm", action="store_true",
+                      help="run warmup (channels connected) before capturing")
+    save.add_argument("--label", default="")
+    save.add_argument("--out", required=True, help="manifest path to write")
+    for action, hlp in (
+        ("restore", "replay the recipe and verify the digest"),
+        ("fork", "replay, then fork N bit-identical runs off the image"),
+        ("inspect", "print the captured state summary"),
+    ):
+        p = snp_sub.add_parser(action, help=hlp)
+        p.add_argument("path", help="manifest written by 'snapshot save'")
+        if action == "fork":
+            p.add_argument("--runs", type=int, default=2)
+            p.add_argument("--cell", default=None,
+                           help="fault cell to replay (fault-pair snapshots)")
 
     args = parser.parse_args(argv)
     handlers = {
         "list": cmd_list,
         "ping": cmd_ping,
-        "snapshot": cmd_snapshot,
+        "tables": cmd_tables,
         "fig11": cmd_fig11,
         "bypass": cmd_bypass,
         "trace": cmd_trace,
         "faults": cmd_faults,
+        "snapshot": cmd_snapshot,
     }
     if args.command is None:
         parser.print_help()

@@ -138,6 +138,29 @@ class Channel(LifecycleHooks):
         """Lifecycle state -- owned by the controller's FSM."""
         return self.ctrl.fsm.state
 
+    def snapshot_state(self) -> dict:
+        """Controller, FIFO contents, waiting list, and data counters
+        for the snapshot manifest."""
+        return {
+            "peer_domid": self.peer_domid,
+            "peer_mac": str(self.peer_mac),
+            "is_listener": self.is_listener,
+            "ctrl": self.ctrl.snapshot_state(),
+            "out_fifo": self.out_fifo.snapshot_state() if self.out_fifo else None,
+            "in_fifo": self.in_fifo.snapshot_state() if self.in_fifo else None,
+            "waiting_list": len(self.waiting_list),
+            "waiting_bytes": self.waiting_bytes,
+            "pkts_sent": self.pkts_sent,
+            "bytes_sent": self.bytes_sent,
+            "pkts_received": self.pkts_received,
+            "bytes_received": self.bytes_received,
+            "notifies": self.notifies,
+            "notifies_suppressed": self.notifies_suppressed,
+            "drain_batches": self.drain_batches,
+            "drain_entries": self.drain_entries,
+            "last_activity": self.last_activity,
+        }
+
     # ------------------------------------------------------------------
     # Control-plane compatibility surface (delegates to the controller)
     # ------------------------------------------------------------------

@@ -220,6 +220,16 @@ class ChannelFSM:
     def __repr__(self) -> str:  # pragma: no cover
         return f"<ChannelFSM {self.state.value}>"
 
+    def snapshot_state(self) -> dict:
+        """Current state plus the retained transition history."""
+        return {
+            "state": self.state.value,
+            "history": [
+                [event.value, old.value, new.value]
+                for (event, old, new) in self.history
+            ],
+        }
+
 
 class ChannelController:
     """Drives one channel endpoint's lifecycle (paper Sect. 3.3 control).
@@ -249,6 +259,16 @@ class ChannelController:
     @property
     def state(self) -> ChannelState:
         return self.fsm.state
+
+    def snapshot_state(self) -> dict:
+        """FSM state, retry-ladder position, and watchdog anchor."""
+        return {
+            "fsm": self.fsm.snapshot_state(),
+            "attempts": self.attempts,
+            "connector_busy": self._connector_busy,
+            "ack_pending": self._ack_event is not None,
+            "bootstrap_started_at": self.bootstrap_started_at,
+        }
 
     def _fire(self, hook_name: str) -> None:
         for hook in self.hooks:
@@ -462,6 +482,18 @@ class ControlPlane:
         #: packets saved across a migration (resent on the new machine).
         self.saved_packets: list[bytes] = []
         self.announcements_seen = 0
+
+    def snapshot_state(self) -> dict:
+        """Mapping table, per-channel FSM/controller state, and the
+        migration save queue -- the complete control-plane soft state."""
+        return {
+            "mapping": {str(mac): domid for mac, domid in self.mapping.items()},
+            "channels": {
+                str(mac): ch.snapshot_state() for mac, ch in self.channels.items()
+            },
+            "saved_packets": len(self.saved_packets),
+            "announcements_seen": self.announcements_seen,
+        }
 
     # ------------------------------------------------------------------
     # Channel table

@@ -60,6 +60,16 @@ class DiscoveryModule(LifecycleHooks):
         """Stop scanning (no further announcements are sent)."""
         self.running = False
 
+    def snapshot_state(self) -> dict:
+        """Scanner progress and the current soft-state roster."""
+        return {
+            "running": self.running,
+            "period": self.period,
+            "scans": self.scans,
+            "announcements_sent": self.announcements_sent,
+            "roster": {str(mac): domid for mac, domid in self.roster.items()},
+        }
+
     # -- one scan ------------------------------------------------------
     def collate(self) -> list[tuple[int, MacAddr]]:
         """Read XenStore and build the [guest-ID, MAC] list of willing guests."""

@@ -153,6 +153,29 @@ class Fifo:
         """The shared ACTIVE flag (cleared by channel teardown)."""
         return bool(self._desc[_FLAGS_WORD] & FLAG_ACTIVE)
 
+    def snapshot_state(self) -> dict:
+        """Descriptor words, counters, and a digest of the data bytes.
+
+        The full ring contents enter the snapshot as a sha256 over the
+        data region (in-flight bytes are captured verifiably without
+        bloating the manifest); the descriptor words -- front, back,
+        flags, order -- are recorded verbatim, so two FIFOs with equal
+        snapshots hold bit-identical shared pages.
+        """
+        import hashlib
+
+        return {
+            "order": self.k,
+            "front": int(self.front),
+            "back": int(self.back),
+            "flags": int(self._desc[_FLAGS_WORD]),
+            "used_slots": int(self.used_slots),
+            "pushes": self.pushes,
+            "pops": self.pops,
+            "push_failures": self.push_failures,
+            "data_sha256": hashlib.sha256(self._data_mv).hexdigest(),
+        }
+
     def mark_inactive(self) -> None:
         """Clear ACTIVE in the shared descriptor (channel teardown)."""
         self._desc[_FLAGS_WORD] = int(self._desc[_FLAGS_WORD]) & ~FLAG_ACTIVE
@@ -401,6 +424,15 @@ class BufferPool:
 
     def __len__(self) -> int:
         return len(self._buffers)
+
+    def snapshot_state(self) -> dict:
+        """Pool occupancy for the snapshot manifest (the loan counter is
+        the leak detector the fault matrix asserts on)."""
+        return {
+            "pooled": len(self._buffers),
+            "pooled_bytes": sum(len(b) for b in self._buffers),
+            "outstanding": self.outstanding,
+        }
 
     def acquire(self, nbytes: int) -> bytearray:
         """Get a buffer of at least ``nbytes`` (pooled if one fits)."""

@@ -115,6 +115,19 @@ class XenLoopModule(LifecycleHooks):
     def announcements_seen(self) -> int:
         return self.control.announcements_seen
 
+    def snapshot_state(self) -> dict:
+        """Control plane, staging pool, and dispatch counters -- the
+        whole per-guest module state for the snapshot manifest."""
+        return {
+            "loaded": self.loaded,
+            "fifo_order": self.fifo_order,
+            "control": self.control.snapshot_state(),
+            "staging_pool": self.staging_pool.snapshot_state(),
+            "pkts_via_channel": self.pkts_via_channel,
+            "pkts_via_standard": self.pkts_via_standard,
+            "pkts_too_big": self.pkts_too_big,
+        }
+
     # ------------------------------------------------------------------
     # XenStore advertisement (soft-state discovery, Sect. 3.2)
     # ------------------------------------------------------------------

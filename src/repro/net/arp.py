@@ -39,6 +39,15 @@ class NeighborCache:
         blocks waiting for resolution)."""
         return self.table.get(ip)
 
+    def snapshot_state(self) -> dict:
+        """The resolved table plus in-flight resolution bookkeeping."""
+        return {
+            "table": {str(ip): str(mac) for ip, mac in self.table.items()},
+            "waiters": {str(ip): len(evs) for ip, evs in self._waiters.items()},
+            "requests_sent": self.requests_sent,
+            "failures": self.failures,
+        }
+
     def insert(self, ip: IPv4Addr, mac: MacAddr) -> None:
         """Install a mapping and wake any resolvers blocked on it."""
         self.table[ip] = mac

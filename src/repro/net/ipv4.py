@@ -51,6 +51,22 @@ class Reassembler:
         self.completed = 0
         self.timed_out = 0
 
+    def snapshot_state(self) -> dict:
+        """Per-flow fragment buffers (chunk counts and byte coverage)."""
+        return {
+            "buffers": {
+                f"{key[0]}>{key[1]}#{key[2]}p{key[3]}": {
+                    "chunks": len(buf.chunks),
+                    "bytes": sum(len(c) for c in buf.chunks.values()),
+                    "total": buf.total,
+                    "created": buf.created,
+                }
+                for key, buf in self._buffers.items()
+            },
+            "completed": self.completed,
+            "timed_out": self.timed_out,
+        }
+
     def add(self, packet: Packet) -> Optional[Packet]:
         """Absorb a fragment; return the reassembled packet when complete."""
         # Age out stale buffers on EVERY fragment arrival.  Purging only

@@ -96,6 +96,35 @@ class NetworkStack:
         self._softirq_stage = f"softirq@{node.name}"
         node.spawn(self._softirq_loop(), name="softirq")
 
+    def snapshot_state(self) -> dict:
+        """The stack's soft state: ARP cache, reassembler, socket tables
+        (UDP ports with queue depths, TCP connections/listeners), and
+        the receive counters."""
+        return {
+            "ip": str(self.ip),
+            "arp": self.arp.snapshot_state(),
+            "reassembler": self.ipv4.reassembler.snapshot_state(),
+            "udp_sockets": {
+                str(port): {
+                    "queued": len(sock.queue),
+                    "queued_bytes": sock.queued_bytes,
+                    "recv_waiters": len(sock._recv_waiters),
+                    "drops": sock.drops,
+                    "rx_msgs": sock.rx_msgs,
+                    "rx_bytes": sock.rx_bytes,
+                    "closed": sock.closed,
+                }
+                for port, sock in self.udp.ports.items()
+            },
+            "tcp_connections": sorted(
+                f"{k[0]}:{k[1]}>{k[2]}:{k[3]}" if len(k) == 4 else repr(k)
+                for k in self.tcp.connections
+            ),
+            "tcp_listeners": sorted(self.tcp.listeners),
+            "rx_frames": self.rx_frames,
+            "rx_dropped": self.rx_dropped,
+        }
+
     # -- device management -------------------------------------------------
     def add_device(self, dev: NetDevice, primary: bool = True) -> None:
         """Attach a device; the first (or primary=True) becomes the route target."""

@@ -124,6 +124,17 @@ def format_engine_stats(stats: Mapping[str, float]) -> str:
             f"drain={ntf['drain_entries']:,} entries/"
             f"{batches:,} batches ({per_batch:.1f}/batch)"
         )
+    warm = stats.get("warm_start")
+    if warm is not None:
+        if warm.get("supported", True):
+            lines.append(
+                "warm-start: "
+                f"cold={warm['cold_wall_s']:.3f}s  warm={warm['warm_wall_s']:.3f}s  "
+                f"capture={warm['capture_wall_s']:.3f}s  "
+                f"speedup={warm['speedup']}x (fork per rep, results identical)"
+            )
+        else:
+            lines.append(f"warm-start: unsupported ({warm.get('reason', '?')})")
     channels = stats.get("channels")
     if channels:
         for ch in channels:
@@ -181,12 +192,24 @@ def format_fault_matrix(results: Sequence[Mapping[str, object]]) -> str:
     Each result mapping needs ``cell`` (the swept {frame type x phase x
     fault kind} point), ``ok``, and the plan's ``injected`` /
     ``recovered`` / ``degraded`` counter dicts; failures carry a
-    ``detail`` string with the violated invariant.
+    ``detail`` string with the violated invariant.  A ``run`` column
+    shows how each cell executed: ``fork`` (warm fork of the pair
+    snapshot), ``2sh`` (two-shard PDES), ``1sh!`` (requested sharded but
+    fell back to the single simulator -- footnoted), or ``cold``.
     """
-    header = ["cell", "ok", "injected", "recovered", "degraded", "detail"]
+    header = ["cell", "ok", "run", "injected", "recovered", "degraded", "detail"]
 
     def _counts(d: Mapping[str, int]) -> str:
         return ",".join(f"{k}={v}" for k, v in sorted(d.items())) or "-"
+
+    def _run_mode(res: Mapping[str, object]) -> str:
+        if res.get("sharded_fallback"):
+            return "1sh!"
+        if res.get("shards", 1) > 1:
+            return f"{res['shards']}sh"
+        if res.get("warm_fork"):
+            return "fork"
+        return "cold"
 
     body = []
     for res in results:
@@ -194,6 +217,7 @@ def format_fault_matrix(results: Sequence[Mapping[str, object]]) -> str:
             [
                 str(res["cell"]),
                 "PASS" if res["ok"] else "FAIL",
+                _run_mode(res),
                 _counts(res.get("injected", {})),
                 _counts(res.get("recovered", {})),
                 _counts(res.get("degraded", {})),
@@ -209,6 +233,12 @@ def format_fault_matrix(results: Sequence[Mapping[str, object]]) -> str:
         lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
     npass = sum(1 for r in results if r["ok"])
     lines.append(f"{npass}/{len(results)} cells converged")
+    fallbacks = [str(r["cell"]) for r in results if r.get("sharded_fallback")]
+    if fallbacks:
+        lines.append(
+            "1sh! = sharded run requested but unsupported for this cell "
+            f"(ran unsharded): {', '.join(fallbacks)}"
+        )
     return "\n".join(lines)
 
 

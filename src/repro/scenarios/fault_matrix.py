@@ -30,7 +30,9 @@ __all__ = [
     "MatrixCell",
     "fault_matrix",
     "matrix_cells",
+    "pair_snapshot",
     "run_cell",
+    "run_cell_forked",
     "run_cell_sharded",
     "run_fault_matrix",
 ]
@@ -293,9 +295,13 @@ def _exercise_cell(cluster: topology.Cluster, cell: MatrixCell) -> int:
     return len(received)
 
 
-def run_cell(cell: MatrixCell, costs: CostModel = MATRIX_COSTS, seed: int = 0) -> dict:
-    """Build, fault, drive, settle, unload, check one cell."""
-    cluster = _build_pair(costs, seed, machines=cell.machines)
+def _run_cell_on(cluster: topology.Cluster, cell: MatrixCell, seed: int) -> dict:
+    """Fault, drive, settle, unload, check one cell on a pre-built pair.
+
+    The plan binds *after* the build, so a cell runs identically on a
+    cold build and on a fork of a post-build snapshot -- that is the
+    warm-start equivalence the fork path relies on.
+    """
     plan = faults.FaultPlan(cell.rules, seed=seed).bind(cluster)
     received = _exercise_cell(cluster, cell)
 
@@ -314,6 +320,38 @@ def run_cell(cell: MatrixCell, costs: CostModel = MATRIX_COSTS, seed: int = 0) -
         # runs walked the same event stream (the determinism check).
         "events": cluster.sim.event_count,
     }
+
+
+def run_cell(cell: MatrixCell, costs: CostModel = MATRIX_COSTS, seed: int = 0) -> dict:
+    """Build, fault, drive, settle, unload, check one cell (cold)."""
+    cluster = _build_pair(costs, seed, machines=cell.machines)
+    return _run_cell_on(cluster, cell, seed)
+
+
+def pair_snapshot(costs: CostModel = MATRIX_COSTS, seed: int = 0, machines: int = 1):
+    """Capture the post-build pair as a forkable, recipe-backed
+    :class:`~repro.sim.snapshot.SimSnapshot` (the warm-start image every
+    same-``machines`` cell forks from)."""
+    from repro.sim.snapshot import SimSnapshot, fault_pair_recipe
+
+    recipe = fault_pair_recipe(costs=costs, seed=seed, machines=machines)
+    cluster = _build_pair(costs, seed, machines=machines)
+    return SimSnapshot.capture(
+        cluster, recipe=recipe, label=f"fault-pair machines={machines} seed={seed}"
+    )
+
+
+def run_cell_forked(cell: MatrixCell, snapshot, seed: int = 0) -> dict:
+    """Run one cell against a fork of a :func:`pair_snapshot`.
+
+    The child is a copy-on-write image of the already-built pair, so the
+    per-cell build cost is paid once per snapshot instead of once per
+    cell; results are bit-identical to :func:`run_cell` (same seed, same
+    event stream) and carry ``warm_fork: True``.
+    """
+    result = snapshot.fork(lambda cluster: _run_cell_on(cluster, cell, seed))
+    result["warm_fork"] = True
+    return result
 
 
 #: sim-time horizon the guestless peer shard idles out to under the
@@ -344,6 +382,7 @@ def run_cell_sharded(cell: MatrixCell, costs: CostModel = MATRIX_COSTS, seed: in
     if any(rule.kind == faults.MIGRATE for rule in cell.rules):
         result = run_cell(cell, costs, seed=seed)
         result["shards"] = 1
+        result["sharded_fallback"] = True
         result["detail"] = (
             result["detail"] or "cross-shard migration unsupported; ran unsharded"
         )
@@ -392,16 +431,41 @@ def run_cell_sharded(cell: MatrixCell, costs: CostModel = MATRIX_COSTS, seed: in
 
 
 def run_fault_matrix(
-    costs: CostModel = MATRIX_COSTS, seed: int = 0, shards: int = 1
+    costs: CostModel = MATRIX_COSTS,
+    seed: int = 0,
+    shards: int = 1,
+    warm: bool = True,
 ) -> list[dict]:
     """Run every cell of the sweep; returns one result dict per cell.
 
-    ``shards=2`` runs each cell under the two-shard PDES mode (see
-    :func:`run_cell_sharded`); the default keeps the classic
-    single-simulator per cell.
+    The default (``shards=1, warm=True``) builds the two-guest pair
+    ONCE per distinct ``machines`` count, snapshots it, and forks every
+    cell from the warm image (:func:`run_cell_forked`) -- results are
+    bit-identical to the cold path, the build cost is amortised across
+    the sweep.  ``warm=False`` (or a platform without ``os.fork``)
+    restores the classic cold build per cell; ``shards=2`` runs each
+    cell under the two-shard PDES mode (see :func:`run_cell_sharded`),
+    where each shard rebuilds its own slice and warm forking does not
+    apply.
     """
-    runner = run_cell_sharded if shards > 1 else run_cell
-    return [runner(cell, costs, seed=seed) for cell in matrix_cells()]
+    if shards > 1:
+        return [run_cell_sharded(cell, costs, seed=seed) for cell in matrix_cells()]
+
+    from repro.sim.snapshot import HAS_FORK
+
+    if not (warm and HAS_FORK):
+        return [run_cell(cell, costs, seed=seed) for cell in matrix_cells()]
+
+    snapshots: dict[int, object] = {}
+    results = []
+    for cell in matrix_cells():
+        snap = snapshots.get(cell.machines)
+        if snap is None:
+            snap = snapshots[cell.machines] = pair_snapshot(
+                costs, seed=seed, machines=cell.machines
+            )
+        results.append(run_cell_forked(cell, snap, seed=seed))
+    return results
 
 
 @scenario(description="Two XenLoop guests with a recoverable fault plan bound.")

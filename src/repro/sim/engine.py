@@ -426,6 +426,39 @@ class Simulator:
         """
         return self._event_count
 
+    def snapshot_state(self) -> dict:
+        """The engine calendar and counters as a plain, JSON-able dict.
+
+        Captures everything that determines future scheduling order
+        except the generator frames themselves: ``now``, the sequence
+        counter (exact tie-break order), the event count, the seed, the
+        RNG bit-generator state, and a summary of the pending calendar
+        (sizes plus the (time, seq, kind) triple of every entry).  Live
+        coroutines cannot be serialized -- process continuation relies
+        on :meth:`repro.sim.snapshot.SimSnapshot.fork` (OS-level fork)
+        or deterministic replay; this dict is the *identity* of the
+        simulator state, used for digests, inspection, and drift checks.
+        """
+        from repro.sim.rng import rng_state
+
+        calendar = [
+            [t, seq, type(obj).__name__]
+            for (t, seq, obj) in sorted(self._queue)
+        ]
+        ready = [[t, seq, type(obj).__name__] for (t, seq, obj) in self._ready]
+        return {
+            "now": self.now,
+            "seq": self._seq,
+            "event_count": self._event_count,
+            "seed": self._seed if isinstance(self._seed, int) else repr(self._seed),
+            "rng": rng_state(self.rng),
+            "queue_len": len(self._queue),
+            "ready_len": len(self._ready),
+            "calendar": calendar,
+            "ready": ready,
+            "has_fault_plan": self.fault_plan is not None,
+        }
+
     # -- event factories ------------------------------------------------
     def event(self, name: str = "") -> Event:
         """Create a pending event."""

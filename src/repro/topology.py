@@ -47,7 +47,7 @@ from repro.net.nic import EthernetSwitch, PhysNIC
 from repro.net.node import Node
 from repro.net.stack import NetworkStack
 from repro.sim.engine import Simulator
-from repro.xen.machine import Machine, XenMachine
+from repro.xen.machine import Machine, XenMachine, reset_guest_mac_counter
 
 __all__ = [
     "ChurnAction",
@@ -186,6 +186,27 @@ class Cluster(Scenario):
             any(ch.state is ChannelState.CONNECTED for ch in m.channels.values())
             for m in endpoint_modules
         )
+
+    # -- checkpoint / warm-start ---------------------------------------
+    def snapshot(self, recipe: Optional[dict] = None, label: str = "") -> "object":
+        """Capture this cluster as a :class:`~repro.sim.snapshot.SimSnapshot`.
+
+        The returned snapshot can ``fork()`` live copies (same-seed runs
+        are bit-identical to a cold build) and, when built from a
+        ``recipe``, ``save()``/``restore()`` across processes.
+        """
+        from repro.sim.snapshot import SimSnapshot
+
+        return SimSnapshot.capture(self, recipe=recipe, label=label)
+
+    @classmethod
+    def from_snapshot(cls, source) -> "Cluster":
+        """Rebuild a cluster from a snapshot (a :class:`SimSnapshot` or a
+        path to one saved with ``SimSnapshot.save``), digest-verified."""
+        from repro.sim.snapshot import SimSnapshot
+
+        snap = SimSnapshot.load(source) if isinstance(source, (str, bytes)) else source
+        return snap.restore()
 
     def view(self, client: str, server: str) -> "Cluster":
         """A shallow endpoint view: same simulation, endpoints re-aimed
@@ -346,6 +367,7 @@ class ClusterSpec:
         _switch: Optional[EthernetSwitch] = None,
         _local: Optional[set] = None,
         _phys_mac_base: int = _PHYS_MAC_BASE,
+        _guest_mac_base: int = 1,
     ) -> Cluster:
         """Materialise the cluster (fixed phase order; see module doc).
 
@@ -356,9 +378,14 @@ class ClusterSpec:
         construction to the named machines, and ``_phys_mac_base``
         offsets auto-assigned physical MACs so a shard allocates exactly
         the addresses its machines would have received in the unsharded
-        build.  All default to the historical behaviour, so the ordinary
-        path is byte-for-byte unchanged.
+        build, and ``_guest_mac_base`` rebases the auto guest-MAC
+        counter the same way.  All default to the historical behaviour,
+        so the ordinary path is byte-for-byte unchanged.
         """
+        # Rebase the process-global guest MAC counter so same-seed builds
+        # are bit-identical no matter how many clusters this process has
+        # already built (snapshot digests depend on this).
+        reset_guest_mac_counter(_guest_mac_base)
         sim = Simulator(seed=seed) if _sim is None else _sim
         if _switch is not None:
             switch = _switch
@@ -546,9 +573,6 @@ def build_shard(
     machines built on earlier shards) -- so traces and ARP/discovery
     behaviour are comparable across shard counts.
     """
-    from repro.xen.machine import reset_guest_mac_counter
-
-    reset_guest_mac_counter(shard_guest_mac_offset(spec, shard_index) + 1)
     mspec = spec.machines[shard_index]
     return spec.build(
         costs,
@@ -556,6 +580,7 @@ def build_shard(
         _switch=uplink,
         _local={mspec.name},
         _phys_mac_base=_PHYS_MAC_BASE + _phys_mac_consumed(spec, shard_index),
+        _guest_mac_base=shard_guest_mac_offset(spec, shard_index) + 1,
     )
 
 

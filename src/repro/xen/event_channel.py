@@ -157,6 +157,24 @@ class EventChannelSubsys:
         #: a full upcall.
         self.coalescing = True
 
+    def snapshot_state(self) -> dict:
+        """Every port's binding and pending bit, for the manifest."""
+        return {
+            "ports": {
+                f"{domid}:{portnum}": {
+                    "remote_domid": port.remote_domid,
+                    "connected": port.peer is not None,
+                    "pending": port.pending,
+                    "closed": port.closed,
+                    "notifies_sent": port.notifies_sent,
+                    "notifies_suppressed": port.notifies_suppressed,
+                    "upcalls": port.upcalls,
+                }
+                for (domid, portnum), port in self._ports.items()
+            },
+            "coalescing": self.coalescing,
+        }
+
     def _alloc_port_number(self, domid: int) -> int:
         counter = self._next_port.setdefault(domid, itertools.count(1))
         return next(counter)

@@ -60,6 +60,24 @@ class GrantTable:
         self.sim = None
         self.name_of = None
 
+    def snapshot_state(self) -> dict:
+        """Live grant entries (ref -> grantee/mapper summary) + counters."""
+        return {
+            "domid": self.domid,
+            "entries": {
+                str(gref): {
+                    "granted_to": entry.granted_to,
+                    "mapped_by": sorted(entry.mapped_by),
+                    "transferable": entry.transferable,
+                    "used": entry.used,
+                }
+                for gref, entry in self._entries.items()
+            },
+            "grants_issued": self.grants_issued,
+            "maps": self.maps,
+            "transfers": self.transfers,
+        }
+
     # -- granting side --------------------------------------------------
     def grant_foreign_access(self, remote_domid: int, page: Page) -> GrantRef:
         """Allow ``remote_domid`` to map ``page``.  No hypercall needed at

@@ -55,6 +55,18 @@ class XenStore:
         #: action in {"write", "rm"}.
         self._watches: list[tuple[str, Callable[[str, str], None]]] = []
 
+    def snapshot_state(self) -> dict:
+        """The full tree as nested ``{value, children}`` dicts, plus the
+        watch count (callbacks are live objects; fork preserves them)."""
+
+        def _node(node: _TreeNode) -> dict:
+            return {
+                "value": node.value,
+                "children": {k: _node(v) for k, v in sorted(node.children.items())},
+            }
+
+        return {"tree": _node(self._root), "watches": len(self._watches)}
+
     # -- permissions -----------------------------------------------------
     @staticmethod
     def _check(domid: int, path: str) -> None:

@@ -66,6 +66,21 @@ class SlottedRing:
         #: reclaimed lazily in the transmit loop, NAPI-style).
         self.rsp_event_armed = True
 
+    def snapshot_state(self) -> dict:
+        """Ring occupancy, counters, and notify-arming flags for the
+        snapshot manifest (slot payloads are live objects owned by
+        netfront/netback and are preserved by process-level fork)."""
+        return {
+            "size": self.size,
+            "queued_requests": len(self._requests),
+            "queued_responses": len(self._responses),
+            "outstanding": self.outstanding,
+            "space_waiters": len(self._space_waiters),
+            "total_requests": self.total_requests,
+            "req_event_armed": self.req_event_armed,
+            "rsp_event_armed": self.rsp_event_armed,
+        }
+
     # -- producer side (e.g. netfront tx) ---------------------------------
     @property
     def free_slots(self) -> int:

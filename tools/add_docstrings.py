@@ -15,7 +15,7 @@ DOCS: dict[tuple[str, str], str] = {
     # cli.py
     ("src/repro/cli.py", "cmd_list"): "List scenarios and available commands.",
     ("src/repro/cli.py", "cmd_ping"): "Flood-ping one scenario or all four.",
-    ("src/repro/cli.py", "cmd_snapshot"): "Measure every Tables 1-3 metric across the four scenarios.",
+    ("src/repro/cli.py", "cmd_tables"): "Measure every Tables 1-3 metric across the four scenarios.",
     ("src/repro/cli.py", "cmd_fig11"): "Print the Fig. 11 migration timeline as ASCII.",
     ("src/repro/cli.py", "cmd_trace"): "Print a traced ping's hop-by-hop timeline per scenario.",
     ("src/repro/cli.py", "cmd_bypass"): "Compare the shipped design against the future-work socket bypass.",

@@ -1,9 +1,10 @@
 """Gate CI on engine-throughput regressions.
 
 Groups the history in ``BENCH_engine.json`` by benchmark configuration
--- ``(shards, machines, data_path)``, where classic single-simulator
-entries are shards=0 and pre-annotation entries default to the xennet
-ring -- and, within every group holding at least two entries, compares the
+-- ``(shards, machines, data_path, warm_start)``, where classic
+single-simulator entries are shards=0 and pre-annotation entries
+default to the xennet ring -- and, within every group holding at least
+two entries, compares the
 newest entry against the **median** of the group's earlier entries.
 Grouping keeps the comparison like-for-like: a 4-shard scaling entry
 is never measured against the 1-shard baseline, and a FIFO-path entry
@@ -38,13 +39,15 @@ def _group_key(entry: dict) -> tuple:
         entry.get("shards", 0),
         entry.get("machines", 1),
         entry.get("data_path", "xennet-ring"),
+        bool(entry.get("warm_start")),
     )
 
 
 def _group_label(key: tuple) -> str:
-    shards, machines, data_path = key
+    shards, machines, data_path, warm_start = key
     mode = "classic" if shards == 0 else f"{shards}-shard/{machines}-machine"
-    return f"[{mode} {data_path}]"
+    suffix = " +warm-start" if warm_start else ""
+    return f"[{mode} {data_path}{suffix}]"
 
 
 def check(history_path: Path, threshold: float) -> int:
@@ -60,7 +63,7 @@ def check(history_path: Path, threshold: float) -> int:
         entries = groups[key]
         label = _group_label(key)
         if len(entries) < 2:
-            print(f"{label}: 1 entry, nothing to compare")
+            print(f"{label}: no baseline (first recorded entry) -- gate skipped")
             continue
         last = entries[-1]
         baseline = statistics.median(e["events_per_sec"] for e in entries[:-1])

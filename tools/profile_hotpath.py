@@ -164,6 +164,11 @@ def main() -> None:
         "--sort", default="tottime", choices=["tottime", "cumulative", "ncalls"]
     )
     parser.add_argument("--limit", type=int, default=25, help="rows to print")
+    parser.add_argument(
+        "--warm", action="store_true",
+        help="run scenario warmup (XenLoop channels connected) before the "
+        "stream; the warmup wall lands in the setup share of the split",
+    )
     parser.add_argument("-o", "--output", help="also dump raw pstats to this file")
     parser.add_argument(
         "--shards", type=int, default=0,
@@ -186,6 +191,9 @@ def main() -> None:
     t0 = time.perf_counter()
     profiler.enable()
     scn = scenarios.build(args.scenario)
+    if args.warm:
+        scn.warmup()
+    setup_wall = time.perf_counter() - t0
     result = netperf.udp_stream(scn, msg_size=args.msg_size, duration=args.duration)
     profiler.disable()
     wall = time.perf_counter() - t0
@@ -197,7 +205,17 @@ def main() -> None:
     )
     print(
         f"{stats['events']:,} events in {wall:.2f}s wall "
-        f"= {stats['events_per_sec']:,.0f} events/s\n"
+        f"= {stats['events_per_sec']:,.0f} events/s"
+    )
+    # Setup vs measured split: the setup share is what checkpoint/fork
+    # warm-starting (repro.sim.snapshot) can amortize across repetitions.
+    measured_wall = wall - setup_wall
+    setup_what = "build+warmup" if args.warm else "build"
+    print(
+        f"wall split: setup ({setup_what}) {setup_wall:.3f}s "
+        f"({100.0 * setup_wall / wall if wall else 0.0:.1f}%) vs "
+        f"measured stream {measured_wall:.3f}s "
+        f"({100.0 * measured_wall / wall if wall else 0.0:.1f}%)\n"
     )
     ps = pstats.Stats(profiler)
     ps.sort_stats(args.sort).print_stats(args.limit)
