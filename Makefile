@@ -4,7 +4,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-all bench-smoke bench-shard-smoke fault-matrix fault-matrix-shard snapshot-smoke examples clean
+.PHONY: install test bench bench-all bench-smoke bench-shard-smoke bigcluster-smoke fault-matrix fault-matrix-shard snapshot-smoke examples clean
 
 install:
 	@$(PYTHON) -m pip install -e . 2>/dev/null || ( \
@@ -38,6 +38,14 @@ bench-shard-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine_throughput.py --shards 1 --machines 2 --duration 0.1 --reps 1
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine_throughput.py --shards 2 --machines 2 --duration 0.1 --reps 1
 	$(PYTHON) tools/check_bench_regression.py
+
+# Control-plane scale smoke: a ~100-guest delta-discovery cluster under
+# churn; asserts O(changes) control messages per scan (announce mode
+# would be O(n) frames / O(n^2) receptions), channel tables bounded by
+# the per-guest budget, and sparse per-guest rosters.  Exits nonzero on
+# any violation; records a cluster_scale entry in BENCH_engine.json.
+bigcluster-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_cluster_scale.py --smoke
 
 # Fault-injection matrix: every {frame type x handshake phase x fault
 # kind} cell must converge (exit nonzero when any cell leaks or hangs).

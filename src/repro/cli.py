@@ -156,7 +156,10 @@ def _snapshot_recipe(args) -> dict:
                 f"unknown fault cell {args.cell!r}; choose from {sorted(cells)}"
             )
         return snapmod.fault_pair_recipe(
-            costs=MATRIX_COSTS, seed=args.seed, machines=cells[args.cell].machines
+            costs=MATRIX_COSTS,
+            seed=args.seed,
+            machines=cells[args.cell].machines,
+            pin_mac=cells[args.cell].pin_mac,
         )
     warm = {"max_wait": 30.0} if args.warm else None
     return snapmod.scenario_recipe(args.scenario, seed=args.seed, warm=warm)
@@ -216,6 +219,11 @@ def cmd_snapshot(args) -> int:
             raise SystemExit(
                 f"cell {name!r} needs machines={cell.machines}, but the "
                 f"snapshot was built with machines={recipe.get('machines', 1)}"
+            )
+        if cell.pin_mac != recipe.get("pin_mac", False):
+            raise SystemExit(
+                f"cell {name!r} needs pin_mac={cell.pin_mac}, but the "
+                f"snapshot was built with pin_mac={recipe.get('pin_mac', False)}"
             )
 
         def probe(cluster):

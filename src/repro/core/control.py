@@ -44,12 +44,18 @@ from typing import TYPE_CHECKING, Optional
 
 from repro import faults
 from repro.core.protocol import (
+    DOM0_MAC,
     Announce,
     ChannelAck,
     ConnectRequest,
     CreateChannel,
+    FullSync,
+    PeerInfo,
+    RosterDelta,
+    WhoIs,
     parse_message,
 )
+from repro.core.roster import RosterChanges, RosterView
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.channel import Channel
@@ -479,9 +485,25 @@ class ControlPlane:
         self.mapping: dict["MacAddr", int] = {}
         #: MAC -> live Channel endpoint.
         self.channels: dict["MacAddr", "Channel"] = {}
+        #: guest-ID -> live Channel: the data path's domid-hashed index,
+        #: kept in lockstep with ``channels``.
+        self.channels_by_domid: dict[int, "Channel"] = {}
+        #: delta-discovery roster view (None in announce mode).  When
+        #: active, ``mapping`` *is* the view's entry table -- one sparse
+        #: dict serves the data path and the epoch bookkeeping.
+        self.roster: Optional[RosterView] = None
+        if module.delta_discovery:
+            self.roster = RosterView(self.guest.mac, track_all=False)
+            self.mapping = self.roster.entries
+        #: per-MAC timestamp of the last WhoIs sent (rate limiter).
+        self._whois_at: dict["MacAddr", float] = {}
+        #: MACs with a budget eviction already in flight.
+        self._evicting: set["MacAddr"] = set()
         #: packets saved across a migration (resent on the new machine).
         self.saved_packets: list[bytes] = []
         self.announcements_seen = 0
+        self.whois_sent = 0
+        self.budget_evictions = 0
 
     def snapshot_state(self) -> dict:
         """Mapping table, per-channel FSM/controller state, and the
@@ -491,8 +513,14 @@ class ControlPlane:
             "channels": {
                 str(mac): ch.snapshot_state() for mac, ch in self.channels.items()
             },
+            "channels_by_domid": sorted(self.channels_by_domid),
+            "roster": None if self.roster is None else self.roster.snapshot_state(),
+            "whois_at": {str(mac): t for mac, t in self._whois_at.items()},
+            "evicting": sorted(str(mac) for mac in self._evicting),
             "saved_packets": len(self.saved_packets),
             "announcements_seen": self.announcements_seen,
+            "whois_sent": self.whois_sent,
+            "budget_evictions": self.budget_evictions,
         }
 
     # ------------------------------------------------------------------
@@ -503,14 +531,54 @@ class ControlPlane:
 
         channel = Channel(self.module, peer_domid, mac)
         self.channels[mac] = channel
+        self.channels_by_domid[peer_domid] = channel
         self.module.channel_created(channel)
+        self._enforce_budget()
         return channel
 
     def channel_closed(self, channel: "Channel") -> None:
-        """Drop a closed channel from the table (LifecycleHooks path)."""
+        """Drop a closed channel from the tables (LifecycleHooks path)."""
+        self._evicting.discard(channel.peer_mac)
         current = self.channels.get(channel.peer_mac)
         if current is channel:
             del self.channels[channel.peer_mac]
+        if self.channels_by_domid.get(channel.peer_domid) is channel:
+            del self.channels_by_domid[channel.peer_domid]
+
+    def _drop_channel(self, channel: "Channel") -> None:
+        """Remove a not-live channel from both tables immediately."""
+        if self.channels.get(channel.peer_mac) is channel:
+            del self.channels[channel.peer_mac]
+        if self.channels_by_domid.get(channel.peer_domid) is channel:
+            del self.channels_by_domid[channel.peer_domid]
+
+    def _enforce_budget(self) -> None:
+        """Evict least-recently-active CONNECTED channels above the
+        module's ``channel_budget`` (no-op when unset).  Handshakes in
+        flight are never evicted -- the table may transiently exceed the
+        budget until they connect and the next enforcement pass runs."""
+        budget = self.module.channel_budget
+        if budget is None:
+            return
+        excess = len(self.channels) - len(self._evicting) - budget
+        if excess <= 0:
+            return
+        victims = sorted(
+            (
+                ch
+                for ch in self.channels.values()
+                if ch.state is ChannelState.CONNECTED
+                and ch.peer_mac not in self._evicting
+            ),
+            key=lambda ch: (ch.last_activity, ch.peer_domid),
+        )
+        for channel in victims[:excess]:
+            self._evicting.add(channel.peer_mac)
+            self.budget_evictions += 1
+            self.guest.spawn(
+                self._teardown_and_fallback(channel, ChannelEvent.IDLE_EXPIRED),
+                name="xl-evict",
+            )
 
     # ------------------------------------------------------------------
     # XenStore advertisement (soft-state discovery, Sect. 3.2)
@@ -535,6 +603,28 @@ class ControlPlane:
             msg = parse_message(packet.payload)
         except ValueError:
             return
+        if isinstance(msg, (RosterDelta, FullSync)):
+            # Receive-side fault tap: deltas and full syncs travel as
+            # ONE multicast frame, so per-recipient drop/delay/dup (the
+            # rule's ``guest`` matches the recipient, same convention as
+            # Announce) must be applied here rather than at the single
+            # send.  Duplicate application is safe: the epoch check in
+            # the roster view makes a re-applied frame a no-op.
+            applications = 1
+            plan = getattr(guest.sim, "fault_plan", None)
+            if plan is not None and plan.has_control_rules:
+                deliver, delay, dup = plan.on_control(guest.name, type(msg).__name__)
+                if not deliver:
+                    return
+                if delay > 0.0:
+                    yield guest.sim.timeout(delay)
+                applications += dup
+            for _ in range(applications):
+                if isinstance(msg, RosterDelta):
+                    self.handle_roster_delta(msg)
+                else:
+                    self.handle_full_sync(msg)
+            return
         if isinstance(msg, Announce):
             self.handle_announce(msg)
         elif isinstance(msg, ConnectRequest):
@@ -545,9 +635,16 @@ class ControlPlane:
             channel = self.channels.get(packet.eth.src)
             if channel is not None:
                 channel.ctrl.on_channel_ack()
+        elif isinstance(msg, PeerInfo):
+            self.handle_peer_info(msg)
 
     def handle_announce(self, msg: Announce) -> None:
         self.announcements_seen += 1
+        if self.roster is not None:
+            # Mixed-protocol clusters are unsupported: a delta-mode
+            # guest's sparse mapping must only be grown by WhoIs answers
+            # and inbound handshakes, never by a full-roster frame.
+            return
         fresh = {
             mac: domid
             for domid, mac in msg.entries
@@ -566,7 +663,7 @@ class ControlPlane:
                     name="xl-teardown",
                 )
             else:
-                self.channels.pop(mac, None)
+                self._drop_channel(channel)
         # Soft-state diff notifications (pure bookkeeping).
         for mac in fresh.keys() - self.mapping.keys():
             self.module.peer_discovered(mac, fresh[mac])
@@ -574,15 +671,123 @@ class ControlPlane:
             self.module.peer_lost(mac)
         self.mapping = fresh
 
+    # ------------------------------------------------------------------
+    # Delta discovery (thousand-guest control plane)
+    # ------------------------------------------------------------------
+    def handle_roster_delta(self, msg: RosterDelta) -> None:
+        self.announcements_seen += 1
+        if self.roster is None:
+            return
+        changes = self.roster.apply_delta(msg)
+        if changes is not None:
+            self._apply_roster_changes(changes)
+
+    def handle_full_sync(self, msg: FullSync) -> None:
+        self.announcements_seen += 1
+        if self.roster is None:
+            return
+        changes = self.roster.apply_full_sync(msg)
+        if changes is None:
+            return
+        self._apply_roster_changes(changes)
+        # The periodic full sync doubles as the connector-retry clock
+        # (announce mode gets one per scan; delta mode one per
+        # ``full_sync_every`` scans): nudge stuck handshakes.
+        for mac, channel in list(self.channels.items()):
+            if self.mapping.get(mac) == channel.peer_domid:
+                channel.ctrl.fsm.feed(ChannelEvent.ANNOUNCE_SEEN)
+                self._retry_stuck_connector(channel)
+
+    def _apply_roster_changes(self, changes: RosterChanges) -> None:
+        """Turn an applied delta/full sync into channel teardowns and
+        observer notifications.  The roster view has already updated
+        ``mapping`` (they share the entry dict in delta mode)."""
+        for mac in changes.leaves:
+            channel = self.channels.get(mac)
+            if channel is not None:
+                if channel.state in (ChannelState.CONNECTED, ChannelState.BOOTSTRAPPING):
+                    self.guest.spawn(
+                        self._teardown_and_fallback(channel, ChannelEvent.PEER_LOST),
+                        name="xl-teardown",
+                    )
+                else:
+                    self._drop_channel(channel)
+            self.module.peer_lost(mac)
+        for domid, mac in changes.joins:
+            self.module.peer_discovered(mac, domid)
+
+    def handle_peer_info(self, msg: PeerInfo) -> None:
+        """Dom0 answered a WhoIs: materialize (or negative-cache) the
+        peer.  The next packet to the MAC then hits the mapping and
+        triggers the normal lazy bootstrap."""
+        if self.roster is None:
+            return
+        if not msg.found:
+            self.roster.note_negative(msg.mac)
+            return
+        known = self.mapping.get(msg.mac)
+        if known is not None and known != msg.domid:
+            self._refresh_identity(msg.mac, msg.domid)
+            return
+        self.roster.track(msg.mac, msg.domid)
+        if known is None:
+            self.module.peer_discovered(msg.mac, msg.domid)
+
+    def note_mapping_miss(self, mac: "MacAddr") -> None:
+        """Data-path mapping miss (delta mode): maybe ask Dom0 who owns
+        ``mac``.  Negative-cached and rate-limited to one WhoIs per
+        discovery period per MAC; the packet itself has already taken
+        the bridge path, so resolution is pure background work."""
+        roster = self.roster
+        if roster is None or mac in roster.negative:
+            return
+        now = self.guest.sim.now
+        last = self._whois_at.get(mac)
+        if last is not None and now - last < self.guest.costs.discovery_period:
+            return
+        self._whois_at[mac] = now
+        self.whois_sent += 1
+        self.guest.spawn(
+            self.module.send_control(DOM0_MAC, WhoIs(self.guest.domid, mac)),
+            name="xl-whois",
+        )
+
+    def _refresh_identity(self, mac: "MacAddr", domid: int) -> None:
+        """Record a [guest-ID, MAC] pair learned from an inbound control
+        frame, replacing a stale guest-ID left by a crash/restart that
+        reused the MAC -- and tearing down any channel built on the old
+        identity (its grants/ports died with the old domain)."""
+        old = self.mapping.get(mac)
+        if old == domid:
+            return
+        if old is not None:
+            channel = self.channels.get(mac)
+            if channel is not None and channel.peer_domid != domid:
+                if channel.state in (ChannelState.CONNECTED, ChannelState.BOOTSTRAPPING):
+                    self.guest.spawn(
+                        self._teardown_and_fallback(channel, ChannelEvent.PEER_LOST),
+                        name="xl-teardown",
+                    )
+                else:
+                    self._drop_channel(channel)
+        self.mapping[mac] = domid
+        if self.roster is not None:
+            self.roster.negative.discard(mac)
+
     def handle_connect_request(self, msg: ConnectRequest) -> None:
         mac = msg.sender_mac
-        self.mapping.setdefault(mac, msg.sender_domid)
+        self._refresh_identity(mac, msg.sender_domid)
         if self.guest.domid > msg.sender_domid:
             return  # misdirected: we are not the smaller ID
         channel = self.channels.get(mac)
-        if channel is not None and channel.state in (
-            ChannelState.BOOTSTRAPPING,
-            ChannelState.CONNECTED,
+        if (
+            channel is not None
+            and channel.peer_domid == msg.sender_domid
+            and channel.state
+            in (
+                ChannelState.BOOTSTRAPPING,
+                ChannelState.CONNECTED,
+            )
         ):
             return  # bootstrap already in flight (simultaneous initiation)
         channel = self._new_channel(msg.sender_domid, mac)
@@ -590,8 +795,12 @@ class ControlPlane:
         self.guest.spawn(channel.ctrl.listener_start(), name="xl-listen")
 
     def handle_create_channel(self, msg: CreateChannel, src_mac: "MacAddr") -> None:
-        self.mapping.setdefault(src_mac, msg.sender_domid)
+        self._refresh_identity(src_mac, msg.sender_domid)
         channel = self.channels.get(src_mac)
+        if channel is not None and channel.peer_domid != msg.sender_domid:
+            # Stale identity: _refresh_identity is tearing it down; the
+            # fresh channel below replaces it in the tables.
+            channel = None
         if channel is None:
             channel = self._new_channel(msg.sender_domid, src_mac)
         if channel.state is ChannelState.CONNECTED:
@@ -679,6 +888,10 @@ class ControlPlane:
                     yield from self._teardown_and_fallback(
                         channel, ChannelEvent.IDLE_EXPIRED
                     )
+            # The reaper also polices the channel budget: handshakes
+            # that pushed the table over the cap while eviction was
+            # deferred are trimmed once they connect.
+            self._enforce_budget()
 
     def _teardown_and_fallback(self, channel: "Channel", cause: ChannelEvent):
         """Tear a channel down and re-route its parked packets through
@@ -722,6 +935,13 @@ class ControlPlane:
             saved = yield from channel.ctrl.teardown(ChannelEvent.PRE_MIGRATE)
             self.saved_packets.extend(saved)
         self.mapping.clear()
+        if self.roster is not None:
+            # The destination machine's Dom0 numbers its own epochs:
+            # forget ours and wait for its next full sync to resync.
+            self.roster.epoch = 0
+            self.roster.desynced = True
+            self.roster.negative.clear()
+        self._whois_at.clear()
 
     def post_migrate(self):
         """After resuming on the new machine: re-advertise under the new

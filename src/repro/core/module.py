@@ -57,6 +57,8 @@ class XenLoopModule(LifecycleHooks):
         fifo_order: int = 13,
         idle_timeout: Optional[float] = None,
         zero_copy_rx: bool = False,
+        channel_budget: Optional[int] = None,
+        delta_discovery: bool = False,
     ):
         """Load the module into ``guest``.
 
@@ -66,6 +68,13 @@ class XenLoopModule(LifecycleHooks):
         for this many seconds ("conserve system resources", Sect. 3.1).
         ``zero_copy_rx``: use the receive-side zero-copy variant the
         paper evaluated and rejected (ablation only).
+        ``channel_budget``: LRU cap on concurrent channels -- the
+        least-recently-active connected channel is evicted (idle-expiry
+        rail) when the table exceeds it, so channel count tracks the
+        working set instead of the cluster size.
+        ``delta_discovery``: this guest's Dom0 runs delta-mode discovery
+        (RosterDelta/FullSync multicasts + WhoIs lookups): keep a sparse
+        O(active-peers) roster view instead of the full-roster mapping.
         """
         if guest.stack is None or guest.netfront is None:
             raise ValueError("XenLoop needs a guest with a vif network stack")
@@ -73,6 +82,8 @@ class XenLoopModule(LifecycleHooks):
         self.fifo_order = fifo_order
         self.idle_timeout = idle_timeout
         self.zero_copy_rx = zero_copy_rx
+        self.channel_budget = channel_budget
+        self.delta_discovery = delta_discovery
         self.loaded = True
 
         #: the control plane: mapping/channel tables, bootstrap,
@@ -121,6 +132,8 @@ class XenLoopModule(LifecycleHooks):
         return {
             "loaded": self.loaded,
             "fifo_order": self.fifo_order,
+            "channel_budget": self.channel_budget,
+            "delta_discovery": self.delta_discovery,
             "control": self.control.snapshot_state(),
             "staging_pool": self.staging_pool.snapshot_state(),
             "pkts_via_channel": self.pkts_via_channel,
@@ -167,9 +180,15 @@ class XenLoopModule(LifecycleHooks):
         peer_domid = control.mapping.get(mac)
         if peer_domid is None:
             yield guest.exec(lookup)
+            if control.roster is not None:
+                # Sparse mapping (delta mode): the miss may just mean we
+                # never asked.  Query Dom0 in the background; this and
+                # every packet until the answer arrives stay on the
+                # bridge path, so delivery order is preserved.
+                control.note_mapping_miss(mac)
             self.pkts_via_standard += 1
             return Verdict.ACCEPT
-        channel = control.channels.get(mac)
+        channel = control.channels_by_domid.get(peer_domid)
         if channel is None:
             yield guest.exec(lookup)
             control.initiate_bootstrap(mac, peer_domid)
@@ -312,4 +331,6 @@ class XenLoopModule(LifecycleHooks):
             "too_big": self.pkts_too_big,
             "channels": len(self.control.channels),
             "announcements": self.control.announcements_seen,
+            "whois_sent": self.control.whois_sent,
+            "budget_evictions": self.control.budget_evictions,
         }

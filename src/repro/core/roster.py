@@ -1,0 +1,175 @@
+"""Guest-side roster view for delta discovery.
+
+Under the thousand-guest control plane, Dom0 no longer broadcasts the
+full [guest-ID, MAC] roster every scan; it multicasts one
+:class:`~repro.core.protocol.RosterDelta` per *changed* scan plus a
+periodic :class:`~repro.core.protocol.FullSync`.  This module is the
+receiver-side bookkeeping:
+
+* **Epoch tracking.**  Dom0 increments its epoch once per changed
+  scan.  A delta applies only when its epoch is exactly one past the
+  last epoch applied here; a gap means a delta was lost (frame drop,
+  late boot) and the view flags itself *desynced* and waits for the
+  next full sync rather than applying a diff against unknown state.
+  Stale/duplicate epochs are ignored, which is what makes the
+  receive-side fault tap's ``dup`` rule safe.
+* **Footprint policy.**  With ``track_all=True`` the view mirrors the
+  whole roster (what an Announce-mode guest effectively keeps).  With
+  ``track_all=False`` -- the thousand-guest default -- the view only
+  *stores* peers something asked about (a data-path miss resolved via
+  WhoIs/PeerInfo, or an inbound handshake), so a guest's table is
+  O(active peers) while joins/leaves still flow through for the peers
+  it does track.
+* **Negative cache.**  In sparse mode a WhoIs answered "not found" is
+  remembered so the data path does not re-query Dom0 on every packet
+  to a non-XenLoop destination; any join or full sync listing that MAC
+  clears the entry (full syncs clear the whole cache -- it is a purely
+  local heuristic and epochs make re-population cheap).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.protocol import FullSync, RosterDelta
+    from repro.net.addr import MacAddr
+
+__all__ = ["RosterChanges", "RosterView"]
+
+
+class RosterChanges:
+    """What one applied delta/full-sync means for *this* guest.
+
+    ``joins``/``leaves`` are restricted to entries the view tracks (in
+    sparse mode, peers the guest has materialized); the control plane
+    turns them into ``peer_discovered``/``peer_lost`` notifications and
+    channel teardowns.  ``domid_changed`` lists tracked MACs that
+    re-advertised under a new guest-ID (crash/restart reusing a MAC):
+    they appear in *both* ``leaves`` (old identity) and ``joins`` (new).
+    """
+
+    __slots__ = ("joins", "leaves", "domid_changed")
+
+    def __init__(self):
+        self.joins: list[tuple[int, "MacAddr"]] = []
+        self.leaves: list["MacAddr"] = []
+        self.domid_changed: list["MacAddr"] = []
+
+
+class RosterView:
+    """One guest's (possibly sparse) view of the Dom0 roster."""
+
+    def __init__(self, own_mac: "MacAddr", track_all: bool = False):
+        self.own_mac = own_mac
+        self.track_all = track_all
+        #: MAC -> guest-ID of tracked peers (never includes ``own_mac``).
+        self.entries: dict["MacAddr", int] = {}
+        #: last epoch applied; 0 = never heard from Dom0 (empty base).
+        self.epoch = 0
+        #: an epoch gap was seen; waiting for a full sync to repair.
+        self.desynced = False
+        #: MACs Dom0 answered "not a XenLoop peer" (sparse-mode cache).
+        self.negative: set["MacAddr"] = set()
+        self.deltas_applied = 0
+        self.deltas_ignored = 0
+        self.deltas_gapped = 0
+        self.full_syncs_applied = 0
+
+    # ------------------------------------------------------------------
+    # Tracking policy
+    # ------------------------------------------------------------------
+    def track(self, mac: "MacAddr", domid: int) -> None:
+        """Materialize one peer (WhoIs answer / inbound handshake)."""
+        if mac != self.own_mac:
+            self.entries[mac] = domid
+            self.negative.discard(mac)
+
+    def note_negative(self, mac: "MacAddr") -> None:
+        """Remember a "not found" WhoIs answer."""
+        self.negative.add(mac)
+
+    # ------------------------------------------------------------------
+    # Frame application
+    # ------------------------------------------------------------------
+    def apply_delta(self, msg: "RosterDelta") -> RosterChanges | None:
+        """Apply one delta; returns the tracked changes, or None when the
+        frame was ignored (stale/duplicate) or gapped (now desynced)."""
+        if msg.epoch <= self.epoch:
+            self.deltas_ignored += 1
+            return None
+        if msg.epoch != self.epoch + 1 or self.desynced:
+            # Missed at least one delta: our base no longer matches the
+            # scanner's, so diffing against it would corrupt the view.
+            self.deltas_gapped += 1
+            self.desynced = True
+            return None
+        self.epoch = msg.epoch
+        self.deltas_applied += 1
+        changes = RosterChanges()
+        for domid, mac in msg.leaves:
+            if mac == self.own_mac:
+                continue
+            if mac in self.entries:
+                del self.entries[mac]
+                changes.leaves.append(mac)
+        for domid, mac in msg.joins:
+            if mac == self.own_mac:
+                continue
+            self.negative.discard(mac)
+            known = self.entries.get(mac)
+            if known is not None and known != domid:
+                # Crash/restart reusing the MAC: same key, new identity.
+                changes.leaves.append(mac)
+                changes.domid_changed.append(mac)
+                self.entries[mac] = domid
+                changes.joins.append((domid, mac))
+            elif self.track_all:
+                self.entries[mac] = domid
+                if known is None:
+                    changes.joins.append((domid, mac))
+        return changes
+
+    def apply_full_sync(self, msg: "FullSync") -> RosterChanges | None:
+        """Reconcile against the scanner's complete roster; returns the
+        tracked changes, or None when the frame is stale."""
+        if msg.epoch < self.epoch:
+            self.deltas_ignored += 1
+            return None
+        self.epoch = msg.epoch
+        self.desynced = False
+        self.full_syncs_applied += 1
+        self.negative.clear()
+        roster = {mac: domid for domid, mac in msg.entries if mac != self.own_mac}
+        changes = RosterChanges()
+        for mac, known in list(self.entries.items()):
+            actual = roster.get(mac)
+            if actual is None:
+                del self.entries[mac]
+                changes.leaves.append(mac)
+            elif actual != known:
+                changes.leaves.append(mac)
+                changes.domid_changed.append(mac)
+                self.entries[mac] = actual
+                changes.joins.append((actual, mac))
+        if self.track_all:
+            for mac, domid in roster.items():
+                if mac not in self.entries:
+                    self.entries[mac] = domid
+                    changes.joins.append((domid, mac))
+        return changes
+
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Complete view state for the snapshot manifest."""
+        return {
+            "track_all": self.track_all,
+            "epoch": self.epoch,
+            "desynced": self.desynced,
+            "entries": {str(mac): domid for mac, domid in self.entries.items()},
+            "negative": sorted(str(mac) for mac in self.negative),
+            "deltas_applied": self.deltas_applied,
+            "deltas_ignored": self.deltas_ignored,
+            "deltas_gapped": self.deltas_gapped,
+            "full_syncs_applied": self.full_syncs_applied,
+        }

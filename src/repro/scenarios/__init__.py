@@ -27,6 +27,7 @@ from repro.scenarios.registry import (
 )
 
 # Importing the builders registers them (must come after registry).
+from repro.scenarios.bigcluster import bigcluster_spec, xenloop_bigcluster
 from repro.scenarios.fault_matrix import fault_matrix, run_fault_matrix
 from repro.scenarios.paper import (
     inter_machine,
@@ -45,6 +46,7 @@ __all__ = [
     "SCENARIO_SPECS",
     "Scenario",
     "ScenarioSpec",
+    "bigcluster_spec",
     "build",
     "fault_matrix",
     "inter_machine",
@@ -55,6 +57,7 @@ __all__ = [
     "scenario",
     "scenario_names",
     "xenloop",
+    "xenloop_bigcluster",
     "xenloop_cluster",
     "xenloop_mesh",
 ]

@@ -1,0 +1,114 @@
+"""Thousand-guest cluster scenario (control-plane scale).
+
+The paper's evaluation stops at a handful of guests; the roadmap's
+north star needs the control plane to survive three orders of magnitude
+more.  ``xenloop_bigcluster`` is the pinned scale scenario: ≥1,000
+XenLoop guests across two Xen machines, running the delta-discovery
+protocol (one multicast frame per *changed* scan instead of a
+full-roster unicast per guest), sparse WhoIs-resolved per-guest
+mappings, a per-guest channel budget, and a churn schedule (migration,
+crash, restart) exercising the soft-state recovery paths at scale.
+
+Scale invariants the tests/bench assert on this scenario:
+
+* discovery control messages per scan are O(changes), not O(n) -- a
+  quiescent scan sends nothing at all;
+* a guest's mapping holds O(active peers) entries, not O(cluster);
+* a guest's channel table is bounded by ``channel_budget``.
+"""
+
+from __future__ import annotations
+
+from repro import topology
+from repro.calibration import DEFAULT_COSTS, CostModel
+from repro.scenarios.base import Scenario
+from repro.scenarios.registry import scenario
+
+__all__ = ["bigcluster_spec", "xenloop_bigcluster"]
+
+
+def bigcluster_spec(
+    n_guests: int = 1000,
+    n_machines: int = 2,
+    channel_budget: int | None = 8,
+    full_sync_every: int = 8,
+    churn: bool = True,
+) -> topology.ClusterSpec:
+    """The declarative spec behind :func:`xenloop_bigcluster`.
+
+    Exposed separately so the scaling bench and the smoke test can
+    build reduced-size variants (``n_guests=100``) of the *same* spec
+    rather than hand-rolling near-copies.
+    """
+    if n_machines < 1 or n_guests < 2:
+        raise ValueError("bigcluster needs at least one machine and two guests")
+    per_machine, leftover = divmod(n_guests, n_machines)
+    counts = [per_machine + (1 if i < leftover else 0) for i in range(n_machines)]
+    machines = tuple(
+        topology.MachineSpec(
+            name=f"xen{i}",
+            guests=tuple(
+                topology.GuestSpec(f"m{i}g{j}", channel_budget=channel_budget)
+                for j in range(counts[i])
+            ),
+        )
+        for i in range(n_machines)
+    )
+    churn_schedule: tuple[topology.ChurnAction, ...] = ()
+    if churn:
+        actions = [
+            # Crash + restart (fresh identity: peers must prune the old
+            # domid and re-resolve the new one through WhoIs).
+            topology.ChurnAction(at=0.5, action="crash", guest="m0g2"),
+            topology.ChurnAction(at=1.5, action="restart", guest="m0g2"),
+        ]
+        if n_machines > 1 and counts[1] > 1:
+            # Live-migrate a guest between machines: its channels tear
+            # down pre-migrate and it rejoins the destination Dom0's
+            # roster at that scanner's next epoch.
+            actions.insert(
+                1,
+                topology.ChurnAction(
+                    at=1.0, action="migrate", guest="m1g1", to_machine="xen0"
+                ),
+            )
+        churn_schedule = tuple(actions)
+    return topology.ClusterSpec(
+        name="xenloop_bigcluster",
+        machines=machines,
+        discovery_mode="delta",
+        full_sync_every=full_sync_every,
+        prefix_len=16,
+        churn=churn_schedule,
+        # warmup() drives the first co-resident pair; the other guests'
+        # channels form lazily on their own first traffic (and are
+        # bounded by the per-guest budget).
+        expect_channels=True,
+    )
+
+
+@scenario(
+    description="≥1,000 XenLoop guests, delta discovery + channel budget, under churn."
+)
+def xenloop_bigcluster(
+    costs: CostModel = DEFAULT_COSTS,
+    seed: int = 0,
+    n_guests: int = 1000,
+    n_machines: int = 2,
+    channel_budget: int | None = 8,
+    full_sync_every: int = 8,
+) -> Scenario:
+    """≥1,000 XenLoop guests across ``n_machines`` Xen machines on the
+    thousand-guest control plane (delta discovery, sparse rosters,
+    channel budget), with a migration + crash/restart churn schedule.
+
+    The endpoints are the first two guests of the first machine; the
+    churn schedule runs via ``run_churn()``.
+    """
+    spec = bigcluster_spec(
+        n_guests=n_guests,
+        n_machines=n_machines,
+        channel_budget=channel_budget,
+        full_sync_every=full_sync_every,
+    )
+    return spec.build(costs, seed=seed)

@@ -69,6 +69,11 @@ class MatrixCell:
     #: send vm2 -> vm1 instead: the larger-domid guest then initiates
     #: the bootstrap, which is the only path that emits ConnectRequest.
     reverse: bool = False
+    #: pin vm2's MAC in its spec (a fixed ``vif mac=`` config line): a
+    #: crash + restart then re-advertises the SAME MAC under a fresh
+    #: domid, exercising the identity-refresh path instead of the
+    #: vanished-peer prune.
+    pin_mac: bool = False
 
     def __post_init__(self):
         object.__setattr__(self, "rules", tuple(self.rules))
@@ -150,6 +155,26 @@ def matrix_cells() -> list[MatrixCell]:
             expect_traffic=False,
         )
     )
+    # The same crash + restart, but vm2's spec pins its MAC: the new
+    # incarnation re-advertises the SAME MAC under a changed domid, and
+    # vm1 must refresh the stale mapping in place (tearing down the
+    # dead channel) rather than keep routing to the old domid.
+    cells.append(
+        MatrixCell(
+            "crash_restart_same_mac:connected",
+            (
+                R(
+                    faults.CRASH,
+                    guest="vm2",
+                    phase="connected",
+                    delay=0.3,
+                    restart_after=0.3,
+                ),
+            ),
+            expect_traffic=False,
+            pin_mac=True,
+        )
+    )
     # Forced live migration mid-traffic (needs a second machine).
     cells.append(
         MatrixCell(
@@ -170,15 +195,24 @@ def matrix_cells() -> list[MatrixCell]:
     return cells
 
 
-def _pair_spec(machines: int = 1) -> topology.ClusterSpec:
+def _pair_spec(machines: int = 1, pin_mac: bool = False) -> topology.ClusterSpec:
     """Two XenLoop guests on one machine (plus an optional empty second
-    machine as a migration target, with its own Dom0 discovery)."""
+    machine as a migration target, with its own Dom0 discovery).
+
+    ``pin_mac`` fixes vm2's MAC in its spec (high in the Xen OUI, far
+    above anything the auto-allocator hands out), so a restart reuses
+    it instead of minting a fresh identity.
+    """
     mspecs = [
         topology.MachineSpec(
             name="xenA",
             guests=(
                 topology.GuestSpec("vm1", ip="10.0.0.1"),
-                topology.GuestSpec("vm2", ip="10.0.0.2"),
+                topology.GuestSpec(
+                    "vm2",
+                    ip="10.0.0.2",
+                    mac="00:16:3e:ff:00:02" if pin_mac else None,
+                ),
             ),
         )
     ]
@@ -191,8 +225,10 @@ def _pair_spec(machines: int = 1) -> topology.ClusterSpec:
     )
 
 
-def _build_pair(costs: CostModel, seed: int, machines: int = 1) -> topology.Cluster:
-    return _pair_spec(machines).build(costs, seed=seed)
+def _build_pair(
+    costs: CostModel, seed: int, machines: int = 1, pin_mac: bool = False
+) -> topology.Cluster:
+    return _pair_spec(machines, pin_mac=pin_mac).build(costs, seed=seed)
 
 
 # ---------------------------------------------------------------------------
@@ -324,20 +360,29 @@ def _run_cell_on(cluster: topology.Cluster, cell: MatrixCell, seed: int) -> dict
 
 def run_cell(cell: MatrixCell, costs: CostModel = MATRIX_COSTS, seed: int = 0) -> dict:
     """Build, fault, drive, settle, unload, check one cell (cold)."""
-    cluster = _build_pair(costs, seed, machines=cell.machines)
+    cluster = _build_pair(costs, seed, machines=cell.machines, pin_mac=cell.pin_mac)
     return _run_cell_on(cluster, cell, seed)
 
 
-def pair_snapshot(costs: CostModel = MATRIX_COSTS, seed: int = 0, machines: int = 1):
+def pair_snapshot(
+    costs: CostModel = MATRIX_COSTS,
+    seed: int = 0,
+    machines: int = 1,
+    pin_mac: bool = False,
+):
     """Capture the post-build pair as a forkable, recipe-backed
     :class:`~repro.sim.snapshot.SimSnapshot` (the warm-start image every
-    same-``machines`` cell forks from)."""
+    cell with the same ``(machines, pin_mac)`` build forks from)."""
     from repro.sim.snapshot import SimSnapshot, fault_pair_recipe
 
-    recipe = fault_pair_recipe(costs=costs, seed=seed, machines=machines)
-    cluster = _build_pair(costs, seed, machines=machines)
+    recipe = fault_pair_recipe(
+        costs=costs, seed=seed, machines=machines, pin_mac=pin_mac
+    )
+    cluster = _build_pair(costs, seed, machines=machines, pin_mac=pin_mac)
     return SimSnapshot.capture(
-        cluster, recipe=recipe, label=f"fault-pair machines={machines} seed={seed}"
+        cluster,
+        recipe=recipe,
+        label=f"fault-pair machines={machines} pin_mac={pin_mac} seed={seed}",
     )
 
 
@@ -388,7 +433,7 @@ def run_cell_sharded(cell: MatrixCell, costs: CostModel = MATRIX_COSTS, seed: in
         )
         return result
 
-    spec = _pair_spec(machines=2)
+    spec = _pair_spec(machines=2, pin_mac=cell.pin_mac)
 
     def script(cluster: topology.Cluster) -> dict:
         if "vm1" in cluster.guests:
@@ -456,13 +501,14 @@ def run_fault_matrix(
     if not (warm and HAS_FORK):
         return [run_cell(cell, costs, seed=seed) for cell in matrix_cells()]
 
-    snapshots: dict[int, object] = {}
+    snapshots: dict[tuple, object] = {}
     results = []
     for cell in matrix_cells():
-        snap = snapshots.get(cell.machines)
+        key = (cell.machines, cell.pin_mac)
+        snap = snapshots.get(key)
         if snap is None:
-            snap = snapshots[cell.machines] = pair_snapshot(
-                costs, seed=seed, machines=cell.machines
+            snap = snapshots[key] = pair_snapshot(
+                costs, seed=seed, machines=cell.machines, pin_mac=cell.pin_mac
             )
         results.append(run_cell_forked(cell, snap, seed=seed))
     return results

@@ -228,10 +228,18 @@ def scenario_recipe(
     return recipe
 
 
-def fault_pair_recipe(costs=None, seed: int = 0, machines: int = 1) -> dict:
+def fault_pair_recipe(
+    costs=None, seed: int = 0, machines: int = 1, pin_mac: bool = False
+) -> dict:
     """Recipe for the fault matrix's two-guest pair (pre-fault: plans
-    bind after build, so this snapshot point precedes any injection)."""
+    bind after build, so this snapshot point precedes any injection).
+
+    ``pin_mac`` is recorded only when set, so recipes (and their
+    digests) from before the pinned-MAC cells are unchanged.
+    """
     recipe: dict = {"kind": "fault_pair", "seed": seed, "machines": machines}
+    if pin_mac:
+        recipe["pin_mac"] = True
     if costs is not None:
         recipe["costs"] = dataclasses.asdict(costs)
     return recipe
@@ -263,7 +271,12 @@ def build_from_recipe(recipe: dict):
         # shadowing the submodule attribute -- go through sys.modules.
         fm = sys.modules["repro.scenarios.fault_matrix"]
         base = fm.MATRIX_COSTS if not recipe.get("costs") else costs
-        return fm._build_pair(base, seed, machines=recipe.get("machines", 1))
+        return fm._build_pair(
+            base,
+            seed,
+            machines=recipe.get("machines", 1),
+            pin_mac=recipe.get("pin_mac", False),
+        )
     raise SnapshotError(f"unknown recipe kind {kind!r}")
 
 

@@ -69,11 +69,18 @@ _PHYS_MAC_BASE = 0x0002B3000001
 class GuestSpec:
     """One guest (Xen machine) or one host node (native machine).
 
-    ``ip=None`` auto-assigns ``10.0.0.<n>`` by global guest position.
+    ``ip=None`` auto-assigns ``10.0.<h>.<l>`` by global guest position
+    (the historical ``10.0.0.<n>`` for the first 254 guests).
+    ``mac=None`` auto-assigns from the Xen OUI counter; a pinned MAC is
+    *reused* when the guest is restarted after a crash/shutdown --
+    modelling a config with a fixed ``vif mac=`` line -- so peers see
+    the same MAC re-advertise under a new guest-ID.
     ``module`` selects the guest-resident module: ``"xenloop"`` (the
     default for guests in an all-Xen cluster), ``"socket_bypass"`` for
     the experimental transport-layer variant, or ``None`` for a plain
     guest on the standard netfront/netback path.
+    ``channel_budget`` caps concurrent channels per guest (LRU eviction
+    above it); None = unbounded (the paper's behaviour).
     """
 
     name: str
@@ -83,6 +90,8 @@ class GuestSpec:
     idle_timeout: Optional[float] = None
     zero_copy_rx: bool = False
     vcpus: int = 1
+    mac: Optional[str] = None
+    channel_budget: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -264,11 +273,15 @@ class Cluster(Scenario):
         """Re-create a crashed or shut-down guest from its spec.
 
         The new incarnation keeps the spec's name and IP but gets a
-        fresh domid and MAC (exactly what ``xl create`` after ``xl
-        destroy`` does), so peers see a *new identity* appear in the
-        next announcement -- the old channel, if any survived, is pruned
-        by the soft-state diff, never resurrected.  A gratuitous ARP
-        re-teaches bridges and neighbour caches the name->MAC binding.
+        fresh domid -- and, by default, a fresh MAC (exactly what ``xl
+        create`` after ``xl destroy`` does), so peers see a *new
+        identity* appear in the next announcement and the old channel,
+        if any survived, is pruned by the soft-state diff, never
+        resurrected.  A spec-pinned ``mac`` is reused instead (a config
+        with a fixed ``vif mac=`` line): peers then see the *same MAC*
+        re-advertise under a changed guest-ID and must refresh their
+        mapping in place.  A gratuitous ARP re-teaches bridges and
+        neighbour caches the name->MAC binding either way.
         """
         if self.spec is None:
             raise ValueError("restart_guest needs a spec-built cluster")
@@ -284,7 +297,13 @@ class Cluster(Scenario):
             raise ValueError(f"guest {name!r} is still alive")
         machine = self.machines_by_name[mspec.name]
         ips = {gs.name: ip for gs, ip in _ip_allocator(self.spec)}
-        guest = machine.create_guest(name, ip=ips[name], vcpus=gspec.vcpus)
+        guest = machine.create_guest(
+            name,
+            ip=ips[name],
+            mac=MacAddr(gspec.mac) if gspec.mac else None,
+            prefix_len=self.spec.prefix_len,
+            vcpus=gspec.vcpus,
+        )
         self.guests[name] = guest
         if gspec.module is not None:
             module_cls = _module_class(gspec.module)
@@ -293,6 +312,8 @@ class Cluster(Scenario):
                 fifo_order=gspec.fifo_order,
                 idle_timeout=gspec.idle_timeout,
                 zero_copy_rx=gspec.zero_copy_rx,
+                channel_budget=gspec.channel_budget,
+                delta_discovery=self.spec.discovery_mode == "delta",
             )
         guest.stack.arp.announce()
         # Re-aim the measurement endpoints at the new incarnation.
@@ -328,11 +349,23 @@ class ClusterSpec:
     expect_channels: Optional[bool] = None
     workloads: tuple[WorkloadSpec, ...] = ()
     churn: tuple[ChurnAction, ...] = ()
+    #: discovery protocol: "announce" (the paper's full-roster unicast,
+    #: default -- byte-identical to the historical build) or "delta"
+    #: (the thousand-guest control plane: RosterDelta/FullSync
+    #: multicasts, WhoIs lookups, sparse per-guest rosters).
+    discovery_mode: str = "announce"
+    #: delta mode: scans between FullSync heartbeats.
+    full_sync_every: int = 8
+    #: subnet prefix for auto-configured guest stacks.  The default /24
+    #: caps auto-IP allocation at 254 guests; big clusters use 16.
+    prefix_len: int = 24
 
     def __post_init__(self):
         object.__setattr__(self, "machines", tuple(self.machines))
         object.__setattr__(self, "workloads", tuple(self.workloads))
         object.__setattr__(self, "churn", tuple(self.churn))
+        if self.discovery_mode not in ("announce", "delta"):
+            raise ValueError(f"unknown discovery_mode {self.discovery_mode!r}")
         names = [g.name for m in self.machines for g in m.guests]
         if len(names) != len(set(names)):
             raise ValueError(f"duplicate guest names in cluster {self.name!r}")
@@ -424,7 +457,7 @@ class ClusterSpec:
             else:
                 for gspec in mspec.guests:
                     node = Node(sim, machine.cpus, costs, gspec.name)
-                    NetworkStack(node, ips[gspec.name])
+                    NetworkStack(node, ips[gspec.name], prefix_len=self.prefix_len)
                     if switch is not None:
                         nic = PhysNIC(node, costs, f"{node.name}.eth0", _phys_mac(mspec.nic_mac))
                         nic.connect(switch)
@@ -438,7 +471,11 @@ class ClusterSpec:
                 continue
             for gspec in mspec.guests:
                 guests[gspec.name] = machine.create_guest(
-                    gspec.name, ip=ips[gspec.name], vcpus=gspec.vcpus
+                    gspec.name,
+                    ip=ips[gspec.name],
+                    mac=MacAddr(gspec.mac) if gspec.mac else None,
+                    prefix_len=self.prefix_len,
+                    vcpus=gspec.vcpus,
                 )
 
         # Phase 4: guest modules, in global guest order.
@@ -455,6 +492,8 @@ class ClusterSpec:
                     fifo_order=gspec.fifo_order,
                     idle_timeout=gspec.idle_timeout,
                     zero_copy_rx=gspec.zero_copy_rx,
+                    channel_budget=gspec.channel_budget,
+                    delta_discovery=self.discovery_mode == "delta",
                 )
 
         # Phase 5: Dom0 discovery, in machine order.
@@ -466,7 +505,13 @@ class ClusterSpec:
             if wants is None:
                 wants = any(g.name in modules for g in mspec.guests)
             if wants:
-                discoveries.append(DiscoveryModule(machine))
+                discoveries.append(
+                    DiscoveryModule(
+                        machine,
+                        mode=self.discovery_mode,
+                        full_sync_every=self.full_sync_every,
+                    )
+                )
 
         end_a, end_b = self.resolved_endpoints()
         if _local is not None and (end_a not in guests or end_b not in guests):
@@ -534,11 +579,16 @@ def shard_guest_mac_offset(spec: ClusterSpec, shard_index: int) -> int:
     """Auto guest MACs consumed before ``machines[shard_index]`` builds.
 
     The unsharded build creates Xen guests in global declaration order,
-    consuming one auto-MAC each; a shard rebases the process-global
-    counter by this offset so every guest gets the same MAC it would
-    have had unsharded (see :func:`build_shard`)."""
+    consuming one auto-MAC each (spec-pinned MACs never touch the
+    counter); a shard rebases the process-global counter by this offset
+    so every guest gets the same MAC it would have had unsharded (see
+    :func:`build_shard`)."""
     return sum(
-        len(mspec.guests) for mspec in spec.machines[:shard_index] if mspec.kind == "xen"
+        1
+        for mspec in spec.machines[:shard_index]
+        if mspec.kind == "xen"
+        for gspec in mspec.guests
+        if gspec.mac is None
     )
 
 
@@ -586,10 +636,35 @@ def build_shard(
 
 def _ip_allocator(spec: ClusterSpec):
     """Yield (GuestSpec, IPv4Addr) in global declaration order, honouring
-    explicit ``ip`` fields and auto-assigning 10.0.0.<position+1>."""
+    explicit ``ip`` fields and auto-assigning ``10.0.<h>.<l>``.
+
+    Positions 1-254 get the historical ``10.0.0.<position>`` addresses
+    (so small-cluster goldens are untouched); the low octet then wraps
+    within 1-254 and the third octet climbs -- a /16 pool good for
+    64,516 guests.  Auto addresses beyond the spec's ``prefix_len``
+    capacity are rejected: a thousand-guest cluster must say
+    ``prefix_len=16`` or packets to high guests would be routed through
+    the (nonexistent) gateway.
+    """
     position = 0
     for mspec in spec.machines:
         for gspec in mspec.guests:
             position += 1
-            ip = IPv4Addr(gspec.ip) if gspec.ip else IPv4Addr(f"10.0.0.{position}")
+            if gspec.ip:
+                ip = IPv4Addr(gspec.ip)
+            else:
+                high, low = divmod(position - 1, 254)
+                if high > 255:
+                    raise ValueError(
+                        f"cluster {spec.name!r}: auto-IP pool exhausted at "
+                        f"guest position {position} (max 64516)"
+                    )
+                ip = IPv4Addr(f"10.0.{high}.{low + 1}")
+                if high > 0 and spec.prefix_len > 16:
+                    raise ValueError(
+                        f"cluster {spec.name!r}: guest position {position} "
+                        f"needs auto-IP {ip}, outside the /{spec.prefix_len} "
+                        f"subnet -- set ClusterSpec(prefix_len=16) for "
+                        f"clusters beyond 254 auto-addressed guests"
+                    )
             yield gspec, ip

@@ -72,6 +72,8 @@ class TestDispatch:
             "too_big",
             "channels",
             "announcements",
+            "whois_sent",
+            "budget_evictions",
         }
         assert stats["channels"] == 1
 

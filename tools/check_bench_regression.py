@@ -1,14 +1,16 @@
 """Gate CI on engine-throughput regressions.
 
 Groups the history in ``BENCH_engine.json`` by benchmark configuration
--- ``(shards, machines, data_path, warm_start)``, where classic
-single-simulator entries are shards=0 and pre-annotation entries
-default to the xennet ring -- and, within every group holding at least
-two entries, compares the
+-- ``(kind, shards, machines, data_path, warm_start, n_guests)``, where
+classic single-simulator entries are shards=0, pre-annotation entries
+default to the xennet ring, and ``kind="cluster_scale"`` entries (from
+``bench_cluster_scale.py``) additionally split by guest count -- and,
+within every group holding at least two entries, compares the
 newest entry against the **median** of the group's earlier entries.
 Grouping keeps the comparison like-for-like: a 4-shard scaling entry
-is never measured against the 1-shard baseline, and a FIFO-path entry
-never against a ring-path one.  The median (rather than the immediate
+is never measured against the 1-shard baseline, a FIFO-path entry
+never against a ring-path one, and a 100-guest cluster entry never
+against the 1,000-guest sweep.  The median (rather than the immediate
 predecessor) keeps one lucky or unlucky recording from creating --
 or masking -- a regression for every run that follows.
 
@@ -36,15 +38,19 @@ from pathlib import Path
 
 def _group_key(entry: dict) -> tuple:
     return (
+        entry.get("kind", "engine"),
         entry.get("shards", 0),
         entry.get("machines", 1),
         entry.get("data_path", "xennet-ring"),
         bool(entry.get("warm_start")),
+        entry.get("n_guests", 0),
     )
 
 
 def _group_label(key: tuple) -> str:
-    shards, machines, data_path, warm_start = key
+    kind, shards, machines, data_path, warm_start, n_guests = key
+    if kind == "cluster_scale":
+        return f"[cluster-scale {n_guests}-guest/{machines}-machine]"
     mode = "classic" if shards == 0 else f"{shards}-shard/{machines}-machine"
     suffix = " +warm-start" if warm_start else ""
     return f"[{mode} {data_path}{suffix}]"
