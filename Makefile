@@ -4,7 +4,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-all bench-smoke bench-shard-smoke bigcluster-smoke fault-matrix fault-matrix-shard snapshot-smoke examples clean
+.PHONY: install test bench bench-all bench-smoke bench-shard-smoke bigcluster-smoke congestion-smoke fault-matrix fault-matrix-shard snapshot-smoke examples clean
 
 install:
 	@$(PYTHON) -m pip install -e . 2>/dev/null || ( \
@@ -46,6 +46,13 @@ bench-shard-smoke:
 # any violation; records a cluster_scale entry in BENCH_engine.json.
 bigcluster-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_cluster_scale.py --smoke
+
+# Congestion smoke: the incast + fairness golden tests, then the
+# CI-sized congestion cells (FIFO vs netfront, lossless vs bridge
+# loss), appended to BENCH_engine.json as kind="congestion" entries.
+congestion-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/integration/test_congestion.py -q
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_congestion.py --smoke
 
 # Fault-injection matrix: every {frame type x handshake phase x fault
 # kind} cell must converge (exit nonzero when any cell leaks or hangs).

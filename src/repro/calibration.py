@@ -167,9 +167,22 @@ class CostModel:
     #: MSS fallback when the device has no GSO (bytes of payload).
     mss: int = 1448
     #: retransmission timeout (fixed; Linux's minimum RTO is 200 ms).
-    #: The only loss on any simulated path is frames in flight during a
-    #: live migration's downtime window, which this recovers.
+    #: Loss comes from frames in flight during a live migration's
+    #: downtime window and from bridge-path drops injected through the
+    #: fault plan (``faults.PKT_LOSS``); the RTO recovers both.
     tcp_rto: float = 0.2
+    #: congestion-control mode: ``"rfc"`` (slow start, AIMD, dup-ACK
+    #: fast retransmit / NewReno-style fast recovery) or ``"fixed"``
+    #: (the pre-congestion fixed-window sender: go-back-N on RTO only).
+    tcp_congestion: str = "rfc"
+    #: initial congestion window in MSS units (RFC 6928's IW10 would be
+    #: 10).  0 -- the calibrated default -- starts cwnd wide open at
+    #: ``tcp_window`` bytes, so on lossless paths cwnd never binds and
+    #: traffic is bit-identical to the fixed-window model; congestion
+    #: scenarios opt into a real slow start via ``replace()``.
+    tcp_initial_cwnd: int = 0
+    #: duplicate-ACK threshold for fast retransmit (RFC 5681: 3).
+    tcp_dupack_threshold: int = 3
 
     # ------------------------------------------------------------------
     # Migration model

@@ -16,7 +16,11 @@ four tap points --
   connector's hypercall fails);
 * ``ChannelController`` phase transitions: guest **crash/restart** or
   forced **migration** at a chosen handshake phase, scheduled through
-  the topology layer.
+  the topology layer;
+* ``Bridge.forward``: **bridge-path packet loss** -- a matching frame
+  vanishes after the Dom0 forwarding cost is charged, exercising the
+  TCP retransmit/congestion machinery (the XenLoop FIFO path never
+  crosses the bridge, so it stays lossless -- the paper's asymmetry).
 
 Determinism contract: a plan draws randomness only from its own
 :func:`repro.sim.rng.make_rng` generator (and only for rules with
@@ -56,6 +60,7 @@ __all__ = [
     "MAP_FAIL",
     "MIGRATE",
     "NOTIFY_DROP",
+    "PKT_LOSS",
     "note_degraded",
     "note_recovered",
     "plan_of",
@@ -77,10 +82,16 @@ MAP_FAIL = "map_fail"
 CRASH = "crash"
 #: live-migrate the guest to ``to_machine`` at a handshake phase.
 MIGRATE = "migrate"
+#: drop a data-plane frame on the Dom0 bridge's forwarding path.
+PKT_LOSS = "pkt_loss"
 
 _CONTROL_KINDS = frozenset((CONTROL_DROP, CONTROL_DELAY, CONTROL_DUP))
 _PHASE_KINDS = frozenset((CRASH, MIGRATE))
-_ALL_KINDS = _CONTROL_KINDS | _PHASE_KINDS | {NOTIFY_DROP, MAP_FAIL}
+_ALL_KINDS = _CONTROL_KINDS | _PHASE_KINDS | {NOTIFY_DROP, MAP_FAIL, PKT_LOSS}
+
+#: traffic classes a PKT_LOSS rule's ``message`` field may name (None
+#: matches every forwarded frame).
+_PKT_CLASSES = frozenset(("tcp", "tcp_ack", "tcp_data", "udp", "icmp"))
 
 #: handshake phases a crash/migrate rule may anchor to.
 _PHASES = frozenset(("bootstrapping", "connected"))
@@ -93,10 +104,14 @@ class FaultRule:
     ``kind`` selects the tap point (module constants above).  The match
     fields narrow where it fires: ``message`` is a control-frame class
     name (``"ConnectRequest"``, ``"CreateChannel"``, ``"ChannelAck"``,
-    ``"Announce"``); ``guest`` is the acting guest's name (sender for
-    control frames, recipient for announcements, notifier for notify
-    loss, mapper for map failures, victim for crash/migrate); ``phase``
-    anchors crash/migrate rules to a handshake phase.
+    ``"Announce"``) or, for PKT_LOSS, a traffic class (``"tcp"``,
+    ``"tcp_ack"`` -- pure ACKs only, ``"tcp_data"`` --
+    sequence-consuming segments (payload, SYN or FIN), ``"udp"``,
+    ``"icmp"``; None matches every forwarded frame); ``guest`` is the acting guest's name (sender for control
+    frames, recipient for announcements, notifier for notify loss,
+    mapper for map failures, victim for crash/migrate) or, for
+    PKT_LOSS, the *machine* whose bridge drops; ``phase`` anchors
+    crash/migrate rules to a handshake phase.
 
     Firing is gated deterministically: the first ``skip`` matches pass
     through unharmed, at most ``times`` matches fire (None = unlimited),
@@ -129,6 +144,15 @@ class FaultRule:
             raise ValueError("a migrate rule needs to_machine")
         if self.kind in _PHASE_KINDS and self.phase is None:
             raise ValueError(f"a {self.kind} rule needs a phase")
+        if (
+            self.kind == PKT_LOSS
+            and self.message is not None
+            and self.message not in _PKT_CLASSES
+        ):
+            raise ValueError(
+                f"unknown pkt_loss traffic class {self.message!r} "
+                f"(one of {sorted(_PKT_CLASSES)})"
+            )
 
 
 class FaultPlan:
@@ -161,6 +185,7 @@ class FaultPlan:
         self.has_notify_rules = NOTIFY_DROP in kinds
         self.has_map_rules = MAP_FAIL in kinds
         self.has_phase_rules = bool(kinds & _PHASE_KINDS)
+        self.has_loss_rules = PKT_LOSS in kinds
 
     # -- installation ----------------------------------------------------
     def install(self, sim: "Simulator") -> "FaultPlan":
@@ -220,6 +245,23 @@ class FaultPlan:
             if rule.kind != NOTIFY_DROP:
                 continue
             if rule.guest is not None and rule.guest != notifier_name:
+                continue
+            if self._fire(idx):
+                return True
+        return False
+
+    def pkt_lost(self, machine_name: Optional[str], packet) -> bool:
+        """Bridge-forwarding tap: True when this frame should vanish.
+
+        ``machine_name`` is the machine whose Dom0 bridge is forwarding
+        (matched against ``rule.guest``); ``rule.message`` narrows to a
+        traffic class (see :class:`FaultRule`)."""
+        for idx, rule in enumerate(self.rules):
+            if rule.kind != PKT_LOSS:
+                continue
+            if rule.guest is not None and rule.guest != machine_name:
+                continue
+            if rule.message is not None and not _pkt_in_class(packet, rule.message):
                 continue
             if self._fire(idx):
                 return True
@@ -302,6 +344,26 @@ class FaultPlan:
 def plan_of(sim) -> Optional[FaultPlan]:
     """The plan installed on ``sim``, or None."""
     return getattr(sim, "fault_plan", None)
+
+
+def _pkt_in_class(packet, pkt_class: str) -> bool:
+    """Does ``packet`` belong to PKT_LOSS traffic class ``pkt_class``?"""
+    from repro.net.ethernet import IPPROTO_ICMP, IPPROTO_TCP, IPPROTO_UDP
+
+    ip = packet.ip
+    if ip is None:
+        return False
+    if pkt_class == "udp":
+        return ip.proto == IPPROTO_UDP
+    if pkt_class == "icmp":
+        return ip.proto == IPPROTO_ICMP
+    if ip.proto != IPPROTO_TCP:
+        return False
+    if pkt_class == "tcp":
+        return True
+    hdr = packet.l4
+    carries = bool(packet.payload) or (hdr is not None and hdr.flags & 0x03)  # SYN|FIN
+    return carries if pkt_class == "tcp_data" else not carries
 
 
 def note_recovered(sim, path: str, n: int = 1) -> None:

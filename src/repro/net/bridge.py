@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.faults import plan_of
 from repro.net.addr import MacAddr
 from repro.net.packet import Packet
 
@@ -62,8 +63,13 @@ class Bridge:
         self._fdb: dict[MacAddr, BridgePort] = {}
         self.frames_forwarded = 0
         self.frames_flooded = 0
+        #: frames dropped by an injected PKT_LOSS fault rule.
+        self.frames_dropped = 0
         # One forwarding process is spawned per frame; format its name once.
         self._fwd_pname = f"{dom0.name}:bridge-fwd"
+        # PKT_LOSS rules match on the machine name (faults.FaultRule.guest).
+        machine = getattr(dom0, "machine", None)
+        self._machine_name = getattr(machine, "name", dom0.name)
 
     def add_port(self, port: BridgePort) -> None:
         """Attach a port (vif netback or NIC uplink) to the bridge."""
@@ -104,6 +110,18 @@ class Bridge:
             return
         if in_port is not None:
             self._fdb[eth.src] = in_port
+        # Injected bridge-path loss (faults.PKT_LOSS): the frame vanishes
+        # after the forwarding cost is charged and the FDB has learned
+        # the source, like a drop at the egress queue.  Zero-overhead
+        # tap: one getattr when no plan is installed.
+        plan = plan_of(dom0.sim)
+        if (
+            plan is not None
+            and plan.has_loss_rules
+            and plan.pkt_lost(self._machine_name, packet)
+        ):
+            self.frames_dropped += 1
+            return
         out = self._fdb.get(eth.dst)
         if out is not None and not eth.dst.is_broadcast and not eth.dst.is_multicast:
             if out is not in_port:

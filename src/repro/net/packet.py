@@ -64,10 +64,12 @@ __all__ = [
     "TCP_ACK",
     "TCP_FIN",
     "TCP_PSH",
+    "TCP_RST",
 ]
 
 TCP_FIN = 0x01
 TCP_SYN = 0x02
+TCP_RST = 0x04
 TCP_PSH = 0x08
 TCP_ACK = 0x10
 

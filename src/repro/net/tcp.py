@@ -1,21 +1,37 @@
-"""Simplified TCP: handshake, reliable windowed byte stream, GSO-sized
-segments, immediate ACKs.
+"""Simplified TCP: handshake, reliable byte stream, GSO-sized segments,
+immediate ACKs, go-back-N retransmission, RFC-shaped congestion control.
 
-Scope (documented in DESIGN.md): none of the simulated data paths lose
-packets -- the FIFO falls back to netfront when full, rings apply
-backpressure, and the wire model is lossless -- so there are no
-retransmission timers or congestion control.  What *is* modelled, because
-the paper's numbers depend on it:
+Scope (documented in DESIGN.md): the FIFO falls back to netfront when
+full and rings apply backpressure, but packets *can* be lost -- frames
+in flight during a live migration's downtime window, and bridge-path
+drops injected through the fault plan (:data:`repro.faults.PKT_LOSS`).
+What is modelled, because the paper's numbers (and the loss-shaped
+scenarios that extend them) depend on it:
 
 * segment sizing from the route's device (GSO super-segments on
   virtual/loopback devices vs. MSS-sized segments on the physical NIC),
 * flow control via the advertised receive window (this is what causes
   the large-message back-pressure effects in Figs. 8-9),
+* a fixed-RTO retransmit timer: go-back-N in ``tcp_congestion="fixed"``
+  mode; head-of-line resend plus ACK-clocked recovery in ``"rfc"`` mode,
+* congestion control (``tcp_congestion="rfc"``): slow start, AIMD
+  congestion avoidance, dup-ACK fast retransmit and NewReno-style fast
+  recovery.  ``cwnd`` composes with the peer's advertised window in
+  :meth:`TcpConnection._window_avail`; with the calibrated default
+  ``tcp_initial_cwnd=0`` the window starts wide open at ``tcp_window``,
+  so lossless paths never see cwnd bind and replay the pre-congestion
+  goldens bit for bit,
 * per-segment transport CPU plus checksum and copy costs,
 * ACK traffic flowing back through the same channel as data,
 * out-of-order segment buffering, needed when a connection's packets
   switch between the netfront path and the XenLoop channel in flight
-  (channel bootstrap, teardown, migration).
+  (channel bootstrap, teardown, migration) -- and every segment that
+  carries payload or FIN is ACKed, *including duplicates*: a
+  below-window segment means the peer missed our ACK, and staying
+  silent would leave its retransmit loop live-locked,
+* RST on demux miss (non-SYN segments with no matching connection), so
+  a peer whose final ACK was lost is told to stop retransmitting
+  instead of go-back-N-ing into the void forever.
 
 Sequence numbers are carried modulo 2^32 on the wire (the FIFO
 round-trips real bytes) but connections are assumed to transfer less
@@ -24,7 +40,8 @@ than 4 GB, which every benchmark in the paper satisfies per run.
 
 from __future__ import annotations
 
-from collections import deque
+from collections import Counter, deque
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.net.addr import IPv4Addr
@@ -34,6 +51,7 @@ from repro.net.packet import (
     TCP_ACK,
     TCP_FIN,
     TCP_PSH,
+    TCP_RST,
     TCP_SYN,
     TcpHeader,
 )
@@ -41,7 +59,7 @@ from repro.net.packet import (
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.stack import NetworkStack
 
-__all__ = ["TcpConnection", "TcpLayer", "TcpListener"]
+__all__ = ["CongestionStats", "TcpConnection", "TcpLayer", "TcpListener"]
 
 #: implicit window-scale shift applied to the 16-bit wire window field.
 WINDOW_SCALE = 3
@@ -60,6 +78,41 @@ ESTABLISHED = "ESTABLISHED"
 FIN_WAIT = "FIN_WAIT"
 CLOSE_WAIT = "CLOSE_WAIT"
 LAST_ACK = "LAST_ACK"
+
+#: congestion-control mode string enabling the RFC machinery.
+CC_RFC = "rfc"
+
+#: bound on the per-connection cwnd trace (oldest entries roll off).
+_CWND_TRACE_MAX = 256
+
+#: per-connection counters aggregated into the owning layer when the
+#: connection is forgotten (key -> TcpConnection attribute).
+_CC_ROLLUP = (
+    ("retransmissions", "retransmissions"),
+    ("fast_retransmits", "fast_retransmits"),
+    ("rto_retransmits", "rto_retransmits"),
+    ("dup_acks", "dup_acks_rcvd"),
+    ("dup_segments", "dup_segments"),
+)
+
+
+@dataclass
+class CongestionStats:
+    """Point-in-time congestion state of one connection.
+
+    ``cwnd_trace`` is the bounded ``(sim_time, cwnd)`` history of window
+    changes (empty until cwnd first moves -- i.e. forever, on lossless
+    paths with the wide-open default window)."""
+
+    cwnd: int
+    ssthresh: int
+    in_fast_recovery: bool
+    retransmissions: int
+    fast_retransmits: int
+    rto_retransmits: int
+    dup_acks_rcvd: int
+    dup_segments: int
+    cwnd_trace: tuple
 
 
 class TcpConnection:
@@ -95,12 +148,33 @@ class TcpConnection:
         self._fin_queued = False
         self._fin_sent = False
 
-        # Retransmission (go-back-N on a fixed RTO; the only loss on any
-        # simulated path is frames dropped during migration downtime).
+        # Retransmission (fixed RTO; loss comes from migration downtime
+        # and fault-plan bridge drops).
         self._retx_buf: deque[tuple[int, bytes, int]] = deque()
         self._retx_deadline: float = 0.0
         self._retx_running = False
         self.retransmissions = 0
+
+        # Congestion control (tentpole: slow start / AIMD / fast
+        # retransmit).  With tcp_initial_cwnd=0 the window starts wide
+        # open at tcp_window, so cwnd never binds on a lossless path.
+        costs = layer.stack.node.costs
+        self._cc_enabled = costs.tcp_congestion == CC_RFC
+        self._cwnd_cap = costs.tcp_window
+        if costs.tcp_initial_cwnd > 0:
+            self.cwnd = costs.tcp_initial_cwnd * costs.mss
+        else:
+            self.cwnd = costs.tcp_window
+        self.ssthresh = costs.tcp_window
+        self.dup_acks = 0  # consecutive, reset on ACK advance
+        self.dup_acks_rcvd = 0
+        self.dup_segments = 0
+        self.fast_retransmits = 0
+        self.rto_retransmits = 0
+        self._in_fast_recovery = False
+        self._recover_seq = 0
+        self.cwnd_trace: deque[tuple[float, int]] = deque(maxlen=_CWND_TRACE_MAX)
+        self.reset_by_peer = False
 
         # Receive side.
         self.rcv_nxt = 0
@@ -115,6 +189,7 @@ class TcpConnection:
         self.bytes_received = 0
         self.segments_sent = 0
         self.segments_received = 0
+        layer.conns_opened += 1
 
     # ------------------------------------------------------------------
     # Application interface (generators, app process context)
@@ -212,8 +287,11 @@ class TcpConnection:
         return self._fin_queued and not self._fin_sent
 
     def _window_avail(self) -> int:
+        # cwnd composes with the peer's advertised window: the sender is
+        # limited by whichever is tighter (RFC 5681 terms: min(cwnd,
+        # rwnd) - flight size).
         inflight = self.snd_nxt - self.snd_una
-        return max(0, min(self.peer_window, self.layer.stack.node.costs.tcp_window) - inflight)
+        return max(0, min(self.peer_window, self.cwnd) - inflight)
 
     def _eff_mss(self) -> int:
         dev, _next_hop = self.layer.stack.ipv4.route(self.remote[0])
@@ -284,12 +362,29 @@ class TcpConnection:
                 if wait > 0:
                     yield sim.timeout(wait)
                     continue
-                # RTO expired: go-back-N, resend everything unacked with
-                # the original segment boundaries (the receiver's
-                # out-of-order buffer absorbs duplicates).
+                # RTO expired.  In "fixed" mode: classic go-back-N,
+                # resend everything unacked with the original segment
+                # boundaries (the receiver's out-of-order buffer absorbs
+                # duplicates).  In "rfc" mode the timeout is a
+                # congestion signal (RFC 5681 s3.1): collapse cwnd to
+                # one segment, fall back to slow start, and resend only
+                # what the collapsed window covers -- the cumulative ACK
+                # it elicits usually jumps past everything the receiver
+                # already buffered.
+                self.rto_retransmits += 1
+                if self._cc_enabled:
+                    mss = self._eff_mss()
+                    flight = self.snd_nxt - self.snd_una
+                    self.ssthresh = max(flight // 2, 2 * mss)
+                    self._in_fast_recovery = False
+                    self.dup_acks = 0
+                    self._recover_seq = self.snd_nxt
+                    self._set_cwnd(mss)
                 for seq, data, flags in list(self._retx_buf):
                     if self.state == CLOSED:
                         return
+                    if self._cc_enabled and seq + len(data) > self.snd_una + self.cwnd:
+                        break
                     hdr = self._make_header(flags, seq=seq)
                     self.retransmissions += 1
                     yield node.exec(costs.tcp_layer + costs.checksum_cost(len(data)))
@@ -363,11 +458,22 @@ class TcpConnection:
         yield node.exec(costs.tcp_layer + costs.checksum_cost(len(data)))
         self.segments_received += 1
 
+        if hdr.flags & TCP_RST:
+            # Peer aborted, or answered a segment it has no state for
+            # (our side outlived it).  Tear down immediately; blocked
+            # senders/receivers wake with EOF/OSError.
+            self.reset_by_peer = True
+            self._become_closed()
+            if not self.established.triggered:
+                self.established.succeed()
+            return
+
         # -- handshake transitions ------------------------------------
         if self.state == SYN_SENT:
             if hdr.flags & TCP_SYN and hdr.flags & TCP_ACK:
                 self.rcv_nxt = hdr.seq + 1
                 self.snd_una = hdr.ack
+                self._prune_retx()  # drop the acked SYN from the retx buffer
                 self.peer_window = hdr.window << WINDOW_SCALE
                 self.state = ESTABLISHED
                 yield from self._send_pure_ack()
@@ -377,6 +483,7 @@ class TcpConnection:
         if self.state == SYN_RCVD:
             if hdr.flags & TCP_ACK and hdr.ack >= self.snd_nxt:
                 self.snd_una = hdr.ack
+                self._prune_retx()  # drop the acked SYN-ACK
                 self.peer_window = hdr.window << WINDOW_SCALE
                 self.state = ESTABLISHED
                 if not self.established.triggered:
@@ -395,10 +502,30 @@ class TcpConnection:
 
         # -- ACK processing --------------------------------------------
         if hdr.flags & TCP_ACK:
+            new_wnd = hdr.window << WINDOW_SCALE
             if hdr.ack > self.snd_una:
+                acked = hdr.ack - self.snd_una
                 self.snd_una = hdr.ack
                 self._prune_retx()
-            self.peer_window = hdr.window << WINDOW_SCALE
+                if self._on_ack_advance(acked) and self._retx_buf:
+                    # NewReno partial ACK (RFC 6582): the peer is still
+                    # missing the segment right after this ACK -- resend
+                    # it now, one hole per RTT, instead of waiting a
+                    # full RTO per hole.
+                    yield from self._resend_head()
+                    self._retx_deadline = node.sim.now + costs.tcp_rto
+            elif (
+                self._cc_enabled
+                and hdr.ack == self.snd_una
+                and self.snd_nxt > self.snd_una
+                and not data
+                and not hdr.flags & (TCP_SYN | TCP_FIN)
+                and new_wnd == self.peer_window
+            ):
+                # RFC 5681 duplicate ACK: no payload, nothing new acked,
+                # data outstanding, window unchanged.
+                yield from self._on_dup_ack()
+            self.peer_window = new_wnd
             self._wake_send_space()
             if self._fin_sent and self.snd_una >= self.snd_nxt:
                 if self.state == LAST_ACK:
@@ -408,29 +535,134 @@ class TcpConnection:
             self._kick_pump()
 
         # -- data -------------------------------------------------------
-        got_payload = len(data) > 0
-        fin = bool(hdr.flags & TCP_FIN)
-        if got_payload or fin:
-            seq = hdr.seq
-            if got_payload:
-                if seq == self.rcv_nxt:
-                    self._accept_data(data)
-                    self._drain_ooo()
-                elif seq > self.rcv_nxt:
-                    self._ooo[seq] = data
-                # seq < rcv_nxt: duplicate; ignore.
-            if fin:
-                fin_seq = seq + len(data)
-                if fin_seq == self.rcv_nxt and not self.eof:
-                    self.rcv_nxt += 1
-                    self._set_eof()
-                elif fin_seq > self.rcv_nxt:
-                    self._ooo[fin_seq] = _FIN_SENTINEL
+        if self._rx_data(hdr.seq, data, bool(hdr.flags & TCP_FIN)):
             # Wake the blocked reader before generating the ACK -- the
             # wakeup is what the RR benchmarks' latency rides on.
             yield node.exec(costs.process_wakeup)
             self._wake_receivers()
             yield from self._send_pure_ack()
+
+    def _rx_data(self, seq: int, data: bytes, fin: bool) -> bool:
+        """Receive-side state update (no yields, so it is directly
+        property-testable over arbitrary segment interleavings).
+
+        Returns True when the segment carried payload or FIN -- every
+        such segment must be ACKed, *including* wholly-duplicate ones: a
+        below-window segment means our previous ACK was lost, and
+        staying silent would leave the peer's retransmit loop
+        live-locked."""
+        if not data and not fin:
+            return False
+        end = seq + len(data)
+        if data:
+            if end <= self.rcv_nxt:
+                self.dup_segments += 1  # wholly below window: re-ACK only
+            elif seq <= self.rcv_nxt:
+                if seq < self.rcv_nxt:
+                    # Partial overlap: trim the already-received head.
+                    self.dup_segments += 1
+                    data = data[self.rcv_nxt - seq :]
+                self._accept_data(data)
+                self._drain_ooo()
+            else:
+                self._ooo[seq] = data
+        if fin:
+            if end == self.rcv_nxt and not self.eof:
+                self.rcv_nxt += 1
+                self._set_eof()
+            elif end > self.rcv_nxt:
+                self._ooo[end] = _FIN_SENTINEL
+        return True
+
+    # ------------------------------------------------------------------
+    # Congestion control (RFC 5681/6582 shaped; active when
+    # costs.tcp_congestion == "rfc")
+    # ------------------------------------------------------------------
+    def _set_cwnd(self, value: int) -> None:
+        value = max(1, min(int(value), self._cwnd_cap))
+        if value != self.cwnd:
+            self.cwnd = value
+            self.cwnd_trace.append((self.layer.stack.node.sim.now, value))
+
+    def _on_ack_advance(self, acked: int) -> bool:
+        """Congestion response to an ACK that advanced ``snd_una``.
+
+        Returns True when the caller should retransmit the next hole
+        (partial ACK while recovering from a fast retransmit or an
+        RTO)."""
+        self.dup_acks = 0
+        if not self._cc_enabled:
+            return False
+        in_recovery = self.snd_una < self._recover_seq
+        if not self._in_fast_recovery and not in_recovery and self.cwnd >= self._cwnd_cap:
+            # Wide open (the lossless-path default): growth would only
+            # clamp back to the cap, so skip the route lookup entirely.
+            return False
+        mss = self._eff_mss()
+        if self._in_fast_recovery:
+            if not in_recovery:
+                # Full ACK: recovery complete, deflate to ssthresh.
+                self._in_fast_recovery = False
+                self._set_cwnd(self.ssthresh)
+                return False
+            # NewReno partial ACK: deflate by the amount acked, grant
+            # one MSS; the caller resends the next hole.
+            self._set_cwnd(max(mss, self.cwnd - acked + mss))
+            return True
+        if self.cwnd < self.ssthresh:
+            self._set_cwnd(self.cwnd + min(acked, mss))  # slow start
+        else:
+            # Congestion avoidance: ~one MSS per RTT (AIMD additive part).
+            self._set_cwnd(self.cwnd + max(1, (mss * mss) // self.cwnd))
+        # Post-RTO loss recovery: ACK-clock the remaining holes too.
+        return in_recovery
+
+    def _on_dup_ack(self):
+        """Dup-ACK bookkeeping; fires fast retransmit at the threshold
+        (generator, softirq context)."""
+        self.dup_acks += 1
+        self.dup_acks_rcvd += 1
+        node = self.layer.stack.node
+        costs = node.costs
+        if self._in_fast_recovery:
+            # Each further dup ACK means one more segment left the
+            # network: inflate cwnd so new data keeps flowing.
+            self._set_cwnd(self.cwnd + self._eff_mss())
+            self._kick_pump()
+        elif self.dup_acks >= costs.tcp_dupack_threshold and self._retx_buf:
+            mss = self._eff_mss()
+            flight = self.snd_nxt - self.snd_una
+            self.ssthresh = max(flight // 2, 2 * mss)
+            self._in_fast_recovery = True
+            self._recover_seq = self.snd_nxt
+            self.fast_retransmits += 1
+            self._set_cwnd(self.ssthresh + costs.tcp_dupack_threshold * mss)
+            yield from self._resend_head()
+            self._retx_deadline = node.sim.now + costs.tcp_rto
+
+    def _resend_head(self):
+        """Retransmit the first unacked segment (generator)."""
+        node = self.layer.stack.node
+        costs = node.costs
+        seq, data, flags = self._retx_buf[0]
+        hdr = self._make_header(flags, seq=seq)
+        self.retransmissions += 1
+        yield node.exec(costs.tcp_layer + costs.checksum_cost(len(data)))
+        yield from self.layer.stack.ipv4.output(self.remote[0], IPPROTO_TCP, hdr, data)
+
+    def congestion_stats(self) -> CongestionStats:
+        """Snapshot of this connection's congestion state."""
+        return CongestionStats(
+            cwnd=self.cwnd,
+            ssthresh=self.ssthresh,
+            in_fast_recovery=self._in_fast_recovery,
+            retransmissions=self.retransmissions,
+            fast_retransmits=self.fast_retransmits,
+            rto_retransmits=self.rto_retransmits,
+            dup_acks_rcvd=self.dup_acks_rcvd,
+            dup_segments=self.dup_segments,
+            cwnd_trace=tuple(self.cwnd_trace),
+        )
 
     def _accept_data(self, data: bytes) -> None:
         self.rcv_nxt += len(data)
@@ -461,6 +693,10 @@ class TcpConnection:
         if self.state == CLOSED:
             return
         self.state = CLOSED
+        # No more data can arrive: blocked readers must see EOF, not
+        # re-queue forever (matters for RST and backlog-overflow aborts;
+        # the graceful paths reached here with eof already set).
+        self.eof = True
         self.layer._forget(self)
         if not self.closed_event.triggered:
             self.closed_event.succeed()
@@ -471,11 +707,16 @@ class TcpConnection:
                 waiter.succeed()
 
     def _wake_receivers(self) -> None:
+        # One segment wakes one reader (its payload is one reader's
+        # breakfast), but EOF/close is terminal: every blocked reader
+        # must wake or concurrent readers sleep forever.
+        wake_all = self.eof or self.state == CLOSED
         while self._recv_waiters:
             waiter = self._recv_waiters.popleft()
             if not waiter.triggered:
                 waiter.succeed()
-                break
+                if not wake_all:
+                    break
 
     def _send_pure_ack(self):
         node = self.layer.stack.node
@@ -512,6 +753,7 @@ class TcpListener:
         self._ready: deque[TcpConnection] = deque()
         self._accept_waiters: deque = deque()
         self.closed = False
+        self.backlog_drops = 0
 
     def accept(self):
         """Wait for and return an ESTABLISHED connection (generator)."""
@@ -530,7 +772,14 @@ class TcpListener:
 
     def _offer(self, conn: TcpConnection) -> None:
         if len(self._ready) >= self.backlog:
-            return  # silently dropped; peer is stuck, as with real overflow
+            # Overflow: abort the connection instead of leaving it
+            # ESTABLISHED in the demux table forever (it would never be
+            # accepted, so nothing could ever close it).  The peer's
+            # next segment hits a demux miss and draws an RST.
+            self.backlog_drops += 1
+            self.layer.backlog_drops += 1
+            conn._become_closed()
+            return
         self._ready.append(conn)
         while self._accept_waiters:
             waiter = self._accept_waiters.popleft()
@@ -548,6 +797,20 @@ class TcpLayer:
         self.listeners: dict[int, TcpListener] = {}
         self._next_ephemeral = EPHEMERAL_BASE
         self.rx_no_match = 0
+        self.rsts_sent = 0
+        self.backlog_drops = 0
+        self.conns_opened = 0
+        #: congestion counters rolled up from forgotten connections
+        #: (live ones are summed on demand in congestion_totals).
+        self._closed_cc: Counter = Counter()
+        # Register with the simulator so trace.engine_stats can sweep
+        # every stack's TCP counters without knowing the topology.
+        sim = stack.node.sim
+        layers = getattr(sim, "_tcp_layers", None)
+        if layers is None:
+            layers = []
+            sim._tcp_layers = layers
+        layers.append(self)
 
     # -- API ----------------------------------------------------------
     def listen(self, port: int, backlog: int = 16, sndbuf: int = 262144,
@@ -574,6 +837,8 @@ class TcpLayer:
         yield node.exec(node.costs.syscall + node.costs.tcp_layer)
         yield from self.stack.ipv4.output(remote[0], IPPROTO_TCP, hdr, b"")
         yield conn.established
+        if conn.state == CLOSED:
+            raise OSError(f"connection to {remote[0]}:{remote[1]} refused")
         return conn
 
     def _alloc_ephemeral(self) -> int:
@@ -600,6 +865,31 @@ class TcpLayer:
             yield from self._passive_open(listener, packet)
             return
         self.rx_no_match += 1
+        # Demux miss on a non-SYN segment: our side has no state (closed
+        # and forgotten, or aborted on backlog overflow), so answer RST.
+        # Without it a peer whose final ACK was lost retransmits its FIN
+        # against the void forever -- the go-back-N livelock.  Bare SYNs
+        # stay silently dropped: a connect racing ahead of listen()
+        # relies on SYN retransmission finding the listener later.
+        if not hdr.flags & (TCP_RST | TCP_SYN):
+            yield from self._send_rst(packet)
+
+    def _send_rst(self, packet: Packet):
+        """Answer an unmatched segment with a RST (generator)."""
+        node = self.stack.node
+        hdr: TcpHeader = packet.l4
+        seg_len = len(packet.payload) + (1 if hdr.flags & (TCP_SYN | TCP_FIN) else 0)
+        rst = TcpHeader(
+            sport=hdr.dport,
+            dport=hdr.sport,
+            seq=hdr.ack if hdr.flags & TCP_ACK else 0,
+            ack=(hdr.seq + seg_len) & 0xFFFFFFFF,
+            flags=TCP_RST | TCP_ACK,
+            window=0,
+        )
+        self.rsts_sent += 1
+        yield node.exec(node.costs.tcp_layer)
+        yield from self.stack.ipv4.output(packet.ip.src, IPPROTO_TCP, rst, b"")
 
     def _passive_open(self, listener: TcpListener, packet: Packet):
         node = self.stack.node
@@ -627,4 +917,24 @@ class TcpLayer:
 
     def _forget(self, conn: TcpConnection) -> None:
         key = (conn.remote[0], conn.remote[1], conn.local[1])
-        self.connections.pop(key, None)
+        if self.connections.pop(key, None) is None:
+            return  # already rolled up (idempotent on double close)
+        for counter_key, attr in _CC_ROLLUP:
+            self._closed_cc[counter_key] += getattr(conn, attr)
+
+    def congestion_totals(self) -> dict:
+        """Aggregate congestion/retransmit counters for this stack:
+        forgotten connections' rollup plus the live ones, summed --
+        the per-layer slice of ``trace.engine_stats(...)["tcp"]``."""
+        totals = Counter(self._closed_cc)
+        for conn in self.connections.values():
+            for counter_key, attr in _CC_ROLLUP:
+                totals[counter_key] += getattr(conn, attr)
+        out = {
+            "conns": self.conns_opened,
+            "backlog_drops": self.backlog_drops,
+            "rsts_sent": self.rsts_sent,
+        }
+        for counter_key, _attr in _CC_ROLLUP:
+            out[counter_key] = totals[counter_key]
+        return out

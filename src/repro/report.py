@@ -124,6 +124,15 @@ def format_engine_stats(stats: Mapping[str, float]) -> str:
             f"drain={ntf['drain_entries']:,} entries/"
             f"{batches:,} batches ({per_batch:.1f}/batch)"
         )
+    tcp = stats.get("tcp")
+    if tcp is not None:
+        lines.append(
+            "tcp: "
+            f"conns={tcp['conns']:,}  retx={tcp['retransmissions']:,} "
+            f"(fast={tcp['fast_retransmits']:,}, rto={tcp['rto_retransmits']:,})  "
+            f"dup_acks={tcp['dup_acks']:,}  dup_segs={tcp['dup_segments']:,}  "
+            f"rst={tcp['rsts_sent']:,}  backlog_drops={tcp['backlog_drops']:,}"
+        )
     warm = stats.get("warm_start")
     if warm is not None:
         if warm.get("supported", True):

@@ -28,6 +28,12 @@ from repro.scenarios.registry import (
 
 # Importing the builders registers them (must come after registry).
 from repro.scenarios.bigcluster import bigcluster_spec, xenloop_bigcluster
+from repro.scenarios.congestion import (
+    run_fairness_cell,
+    run_incast_cell,
+    xenloop_fairness,
+    xenloop_incast,
+)
 from repro.scenarios.fault_matrix import fault_matrix, run_fault_matrix
 from repro.scenarios.paper import (
     inter_machine,
@@ -53,11 +59,15 @@ __all__ = [
     "migration_pair",
     "native_loopback",
     "netfront_netback",
+    "run_fairness_cell",
     "run_fault_matrix",
+    "run_incast_cell",
     "scenario",
     "scenario_names",
     "xenloop",
     "xenloop_bigcluster",
     "xenloop_cluster",
+    "xenloop_fairness",
+    "xenloop_incast",
     "xenloop_mesh",
 ]

@@ -109,6 +109,11 @@ def engine_stats(sim, wall_s: Optional[float] = None) -> dict:
     simulator, a ``faults`` sub-dict carries its injected / recovered /
     degraded counters.
 
+    When the run carried TCP traffic, a ``tcp`` sub-dict sums every
+    stack's :meth:`repro.net.tcp.TcpLayer.congestion_totals` --
+    connections opened, retransmissions (split into fast vs. RTO),
+    duplicate ACKs and segments, RSTs, and listener backlog drops.
+
     The ``notify`` sub-dict holds the event-channel suppression counters
     from :data:`repro.xen.event_channel.NOTIFY_STATS` (process-global,
     like the serialization counters: reset before a measured run).  When
@@ -140,6 +145,14 @@ def engine_stats(sim, wall_s: Optional[float] = None) -> dict:
             }
             for ch in channels
         ]
+    layers = getattr(sim, "_tcp_layers", None)
+    if layers:
+        tcp: dict = {}
+        for layer in layers:
+            for key, value in layer.congestion_totals().items():
+                tcp[key] = tcp.get(key, 0) + value
+        if tcp.get("conns"):
+            stats["tcp"] = tcp
     plan = getattr(sim, "fault_plan", None)
     if plan is not None:
         stats["faults"] = plan.snapshot()

@@ -8,6 +8,8 @@ benchmark knows XenLoop exists):
 * :mod:`repro.workloads.pingpong`     -- ICMP flood ping.
 * :mod:`repro.workloads.netperf`      -- TCP_RR / UDP_RR / TCP_STREAM /
   UDP_STREAM.
+* :mod:`repro.workloads.congestion`   -- N-to-1 incast and
+  elephant/mice fairness (loss-shaped workloads the paper never ran).
 * :mod:`repro.workloads.lmbench`      -- bw_tcp / lat_tcp.
 * :mod:`repro.workloads.netpipe`      -- NetPIPE over :mod:`repro.mpi`.
 * :mod:`repro.workloads.osu`          -- OSU MPI uni/bi bandwidth and
@@ -16,6 +18,22 @@ benchmark knows XenLoop exists):
   live migration (Fig. 11).
 """
 
-from repro.workloads import lmbench, migration_rr, netperf, netpipe, osu, pingpong
+from repro.workloads import (
+    congestion,
+    lmbench,
+    migration_rr,
+    netperf,
+    netpipe,
+    osu,
+    pingpong,
+)
 
-__all__ = ["lmbench", "migration_rr", "netperf", "netpipe", "osu", "pingpong"]
+__all__ = [
+    "congestion",
+    "lmbench",
+    "migration_rr",
+    "netperf",
+    "netpipe",
+    "osu",
+    "pingpong",
+]

@@ -1,0 +1,252 @@
+"""Congestion-shaped workloads the paper never ran: N-to-1 incast and
+mixed elephant/mice fairness.
+
+Both drive the simulated socket API exactly like the netperf
+reimplementations (no workload knows XenLoop exists), but are built to
+make the congestion-control machinery visible:
+
+* :func:`tcp_incast` -- N senders blast a fixed byte count into one
+  receiving guest concurrently (the classic partition/aggregate
+  pattern); reports per-flow completion goodput, Jain's fairness index,
+  and the retransmit/fast-retransmit/RTO split.
+* :func:`tcp_fairness` -- long-lived *elephant* streams share the path
+  with short bursty *mice* flows for a fixed window; reports per-class
+  goodput and fairness.
+
+The reproduction question they open (EXPERIMENTS.md): the XenLoop FIFO
+path never crosses the Dom0 bridge, so injected bridge loss
+(:data:`repro.faults.PKT_LOSS`) leaves it untouched while the
+netfront/netback path pays retransmissions *and* AIMD back-off --
+loss-shaped traffic widens the paper's FIFO-vs-netfront gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.topology import Cluster
+
+__all__ = [
+    "FairnessResult",
+    "FlowStat",
+    "IncastResult",
+    "jain_index",
+    "tcp_fairness",
+    "tcp_incast",
+]
+
+
+@dataclass
+class FlowStat:
+    """One flow's outcome: goodput plus sender-side congestion counters."""
+
+    name: str
+    bytes: int
+    duration: float
+    mbps: float
+    retransmissions: int
+    fast_retransmits: int
+    rto_retransmits: int
+    cwnd_final: int
+    ssthresh_final: int
+
+
+@dataclass
+class IncastResult:
+    """N-to-1 incast outcome."""
+
+    flows: list
+    duration: float
+    aggregate_mbps: float
+    #: Jain's index over per-flow goodput (1.0 = perfectly fair).
+    fairness: float
+    retransmissions: int
+    fast_retransmits: int
+    rto_retransmits: int
+
+
+@dataclass
+class FairnessResult:
+    """Elephant/mice sharing outcome."""
+
+    flows: list
+    duration: float
+    elephant_mbps: float
+    mice_mbps: float
+    #: Jain's index over every flow's goodput.
+    fairness: float
+    #: Jain's index over the elephants alone (like-for-like sharing).
+    fairness_elephants: float
+    retransmissions: int
+    fast_retransmits: int
+    rto_retransmits: int
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)`` in (0, 1]."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return 1.0
+    square_sum = sum(v * v for v in vals)
+    if square_sum == 0.0:
+        return 1.0
+    total = sum(vals)
+    return (total * total) / (len(vals) * square_sum)
+
+
+def _flow_stat(name: str, conn, nbytes: int, elapsed: float) -> FlowStat:
+    return FlowStat(
+        name=name,
+        bytes=nbytes,
+        duration=elapsed,
+        mbps=nbytes * 8 / elapsed / 1e6 if elapsed > 0 else 0.0,
+        retransmissions=conn.retransmissions,
+        fast_retransmits=conn.fast_retransmits,
+        rto_retransmits=conn.rto_retransmits,
+        cwnd_final=conn.cwnd,
+        ssthresh_final=conn.ssthresh,
+    )
+
+
+def _sink_server(cluster: "Cluster", server: str, port: int, n_flows: int):
+    """Accept ``n_flows`` connections on ``server`` and drain each to EOF
+    in its own process (generator, one accept loop)."""
+    node = cluster.guests[server]
+
+    def drain(conn):
+        while True:
+            chunk = yield from conn.recv(65536)
+            if not chunk:
+                break
+        yield from conn.close()
+
+    def acceptor():
+        listener = node.stack.tcp_listen(port)
+        for i in range(n_flows):
+            conn = yield from listener.accept()
+            node.sim.process(drain(conn), name=f"sink-drain-{i}")
+        listener.close()
+
+    return cluster.sim.process(acceptor(), name=f"sink-{server}")
+
+
+def tcp_incast(
+    cluster: "Cluster",
+    server: str,
+    senders: Sequence[str],
+    bytes_per_flow: int = 1 << 20,
+    msg_size: int = 16384,
+    port: int = 5301,
+    timeout: float = 120.0,
+) -> IncastResult:
+    """N-to-1 incast: every sender pushes ``bytes_per_flow`` into
+    ``server`` concurrently; a flow's clock stops when its FIN is acked
+    (retransmit tails count against goodput)."""
+    sim = cluster.sim
+    _sink_server(cluster, server, port, len(senders))
+    server_ip = cluster.guests[server].stack.ip
+    flows: dict[str, FlowStat] = {}
+    t0 = sim.now
+
+    def sender(name: str):
+        node = cluster.guests[name]
+        conn = yield from node.stack.tcp_connect((server_ip, port))
+        payload = bytes(msg_size)
+        left = bytes_per_flow
+        while left > 0:
+            chunk = payload if left >= msg_size else bytes(left)
+            yield from conn.send(chunk)
+            left -= len(chunk)
+        yield from conn.close()
+        yield conn.closed_event
+        flows[name] = _flow_stat(name, conn, bytes_per_flow, sim.now - t0)
+
+    procs = [sim.process(sender(name), name=f"incast-{name}") for name in senders]
+    for proc in procs:
+        sim.run_until_complete(proc, timeout=timeout)
+
+    stats = [flows[name] for name in senders]
+    duration = max(f.duration for f in stats)
+    total_bytes = sum(f.bytes for f in stats)
+    return IncastResult(
+        flows=stats,
+        duration=duration,
+        aggregate_mbps=total_bytes * 8 / duration / 1e6 if duration > 0 else 0.0,
+        fairness=jain_index([f.mbps for f in stats]),
+        retransmissions=sum(f.retransmissions for f in stats),
+        fast_retransmits=sum(f.fast_retransmits for f in stats),
+        rto_retransmits=sum(f.rto_retransmits for f in stats),
+    )
+
+
+def tcp_fairness(
+    cluster: "Cluster",
+    server: str,
+    elephants: Sequence[str],
+    mice: Sequence[str],
+    duration: float = 0.2,
+    elephant_msg: int = 16384,
+    mouse_burst: int = 8192,
+    mouse_gap: float = 0.002,
+    port: int = 5302,
+    timeout: float = 120.0,
+) -> FairnessResult:
+    """Mixed flows sharing one sink for ``duration`` sim-seconds:
+    elephants stream continuously; mice send ``mouse_burst`` bytes then
+    idle ``mouse_gap`` seconds, netperf-CRR-shaped without the
+    per-burst handshake."""
+    sim = cluster.sim
+    _sink_server(cluster, server, port, len(elephants) + len(mice))
+    server_ip = cluster.guests[server].stack.ip
+    flows: dict[str, FlowStat] = {}
+    t_end = sim.now + duration
+
+    def elephant(name: str):
+        node = cluster.guests[name]
+        conn = yield from node.stack.tcp_connect((server_ip, port))
+        payload = bytes(elephant_msg)
+        t0 = sim.now
+        sent = 0
+        while sim.now < t_end:
+            yield from conn.send(payload)
+            sent += len(payload)
+        yield from conn.close()
+        yield conn.closed_event
+        flows[name] = _flow_stat(name, conn, sent, sim.now - t0)
+
+    def mouse(name: str):
+        node = cluster.guests[name]
+        conn = yield from node.stack.tcp_connect((server_ip, port))
+        payload = bytes(mouse_burst)
+        t0 = sim.now
+        sent = 0
+        while sim.now < t_end:
+            yield from conn.send(payload)
+            sent += len(payload)
+            yield sim.timeout(mouse_gap)
+        yield from conn.close()
+        yield conn.closed_event
+        flows[name] = _flow_stat(name, conn, sent, sim.now - t0)
+
+    procs = [sim.process(elephant(n), name=f"elephant-{n}") for n in elephants]
+    procs += [sim.process(mouse(n), name=f"mouse-{n}") for n in mice]
+    for proc in procs:
+        sim.run_until_complete(proc, timeout=timeout)
+
+    stats = [flows[n] for n in (*elephants, *mice)]
+    wall = max(f.duration for f in stats)
+    e_bytes = sum(flows[n].bytes for n in elephants)
+    m_bytes = sum(flows[n].bytes for n in mice)
+    return FairnessResult(
+        flows=stats,
+        duration=wall,
+        elephant_mbps=e_bytes * 8 / wall / 1e6 if wall > 0 else 0.0,
+        mice_mbps=m_bytes * 8 / wall / 1e6 if wall > 0 else 0.0,
+        fairness=jain_index([f.mbps for f in stats]),
+        fairness_elephants=jain_index([flows[n].mbps for n in elephants]),
+        retransmissions=sum(f.retransmissions for f in stats),
+        fast_retransmits=sum(f.fast_retransmits for f in stats),
+        rto_retransmits=sum(f.rto_retransmits for f in stats),
+    )

@@ -27,6 +27,23 @@ class TestRuleValidation:
         with pytest.raises(ValueError, match="needs a phase"):
             faults.FaultRule(faults.CRASH)
 
+    def test_pkt_loss_unknown_class_rejected(self):
+        with pytest.raises(ValueError, match="pkt_loss traffic class"):
+            faults.FaultRule(faults.PKT_LOSS, message="carrier_pigeon")
+
+    def test_pkt_loss_classes_accepted(self):
+        for cls in (None, "tcp", "tcp_ack", "tcp_data", "udp", "icmp"):
+            faults.FaultRule(faults.PKT_LOSS, message=cls)
+
+    def test_loss_rules_gate(self):
+        # The bridge's hot path consults has_loss_rules before matching.
+        assert faults.FaultPlan(
+            (faults.FaultRule(faults.PKT_LOSS),)
+        ).has_loss_rules
+        assert not faults.FaultPlan(
+            (faults.FaultRule(faults.NOTIFY_DROP),)
+        ).has_loss_rules
+
 
 class TestGating:
     def test_skip_then_times(self):

@@ -1,10 +1,13 @@
 """Gate CI on engine-throughput regressions.
 
 Groups the history in ``BENCH_engine.json`` by benchmark configuration
--- ``(kind, shards, machines, data_path, warm_start, n_guests)``, where
-classic single-simulator entries are shards=0, pre-annotation entries
-default to the xennet ring, and ``kind="cluster_scale"`` entries (from
-``bench_cluster_scale.py``) additionally split by guest count -- and,
+-- ``(kind, shards, machines, data_path, warm_start, n_guests, cell,
+smoke)``, where classic single-simulator entries are shards=0,
+pre-annotation entries default to the xennet ring,
+``kind="cluster_scale"`` entries (from ``bench_cluster_scale.py``)
+additionally split by guest count, and ``kind="congestion"`` entries
+(from ``bench_congestion.py``) split by their cell label and CI-smoke
+sizing -- and,
 within every group holding at least two entries, compares the
 newest entry against the **median** of the group's earlier entries.
 Grouping keeps the comparison like-for-like: a 4-shard scaling entry
@@ -44,13 +47,19 @@ def _group_key(entry: dict) -> tuple:
         entry.get("data_path", "xennet-ring"),
         bool(entry.get("warm_start")),
         entry.get("n_guests", 0),
+        # congestion entries split by cell label and CI-vs-full sizing
+        # (bench_congestion.py); "" / False on every other kind.
+        entry.get("cell", ""),
+        bool(entry.get("smoke")),
     )
 
 
 def _group_label(key: tuple) -> str:
-    kind, shards, machines, data_path, warm_start, n_guests = key
+    kind, shards, machines, data_path, warm_start, n_guests, cell, smoke = key
     if kind == "cluster_scale":
         return f"[cluster-scale {n_guests}-guest/{machines}-machine]"
+    if kind == "congestion":
+        return f"[congestion {cell}{' smoke' if smoke else ''}]"
     mode = "classic" if shards == 0 else f"{shards}-shard/{machines}-machine"
     suffix = " +warm-start" if warm_start else ""
     return f"[{mode} {data_path}{suffix}]"
