@@ -4,7 +4,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-all bench-smoke bench-shard-smoke bigcluster-smoke congestion-smoke fault-matrix fault-matrix-shard snapshot-smoke examples clean
+.PHONY: install test bench bench-all bench-smoke bench-shard-smoke bigcluster-smoke congestion-smoke serving-smoke fault-matrix fault-matrix-shard snapshot-smoke examples clean
 
 install:
 	@$(PYTHON) -m pip install -e . 2>/dev/null || ( \
@@ -53,6 +53,13 @@ bigcluster-smoke:
 congestion-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/integration/test_congestion.py -q
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_congestion.py --smoke
+
+# Serving smoke: the open-loop tail-latency golden tests, then the
+# CI-sized offered-load sweep (0.5x/0.8x/0.95x of each path's probed
+# capacity), appended to BENCH_engine.json as kind="serving" entries.
+serving-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/integration/test_serving.py -q
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_serving.py --smoke
 
 # Fault-injection matrix: every {frame type x handshake phase x fault
 # kind} cell must converge (exit nonzero when any cell leaks or hangs).

@@ -633,7 +633,11 @@ class ControlPlane:
             self.handle_create_channel(msg, packet.eth.src)
         elif isinstance(msg, ChannelAck):
             channel = self.channels.get(packet.eth.src)
-            if channel is not None:
+            # A stale ack (sent for an earlier incarnation of this MAC's
+            # channel, then delayed in flight) must not complete a newer
+            # handshake it never belonged to: the sender's guest-ID is
+            # the incarnation check.
+            if channel is not None and channel.peer_domid == msg.sender_domid:
                 channel.ctrl.on_channel_ack()
         elif isinstance(msg, PeerInfo):
             self.handle_peer_info(msg)
@@ -789,10 +793,34 @@ class ControlPlane:
                 ChannelState.CONNECTED,
             )
         ):
+            port = channel.port
+            if channel.state is ChannelState.CONNECTED and (
+                port is None or port.peer is None
+            ):
+                # CONNECTED over a dead transport (the peer closed its
+                # port end): the connector re-initiating is proof its
+                # side of the channel is gone.  Replace the husk with a
+                # fresh handshake instead of ignoring the request.
+                self.guest.spawn(
+                    self._relisten_stale(channel, msg.sender_domid, mac),
+                    name="xl-relisten",
+                )
+                return
             return  # bootstrap already in flight (simultaneous initiation)
         channel = self._new_channel(msg.sender_domid, mac)
         channel.ctrl.fsm.feed(ChannelEvent.CONNECT_REQ)
         self.guest.spawn(channel.ctrl.listener_start(), name="xl-listen")
+
+    def _relisten_stale(self, channel: "Channel", peer_domid: int, mac: "MacAddr"):
+        """Replace a dead CONNECTED channel with a fresh listener
+        handshake (generator, guest context)."""
+        saved = yield from channel.ctrl.teardown()
+        for data in saved:
+            self.module.resend_via_standard_path(data)
+        faults.note_recovered(self.guest.sim, "stale_reconnect")
+        fresh = self._new_channel(peer_domid, mac)
+        fresh.ctrl.fsm.feed(ChannelEvent.CONNECT_REQ)
+        yield from fresh.ctrl.listener_start()
 
     def handle_create_channel(self, msg: CreateChannel, src_mac: "MacAddr") -> None:
         self._refresh_identity(src_mac, msg.sender_domid)
@@ -804,22 +832,58 @@ class ControlPlane:
         if channel is None:
             channel = self._new_channel(msg.sender_domid, src_mac)
         if channel.state is ChannelState.CONNECTED:
-            # Duplicate create (listener retry after ack loss): our
-            # CHANNEL_ACK never arrived.  Re-ack so the listener can
-            # complete instead of burning through its retry ladder into
-            # FAILED while our side believes the channel is up.
+            port = channel.port
+            if port is not None and port.peer is not None and port.peer.port == msg.evtchn_port:
+                # Duplicate create (listener retry after ack loss): our
+                # CHANNEL_ACK never arrived.  Re-ack so the listener can
+                # complete instead of burning through its retry ladder
+                # into FAILED while our side believes the channel is up.
+                self.guest.spawn(
+                    self.module.send_control(src_mac, ChannelAck(self.guest.domid)),
+                    name="xl-ack-resend",
+                )
+                faults.note_recovered(self.guest.sim, "ack_resend")
+                return
+            # The listener rebuilt its transport (its retries exhausted
+            # before our ack-loss recovery landed, so it closed the old
+            # port and started over): the shared pages and event channel
+            # under our CONNECTED state are gone.  Blindly re-acking
+            # here would leave BOTH sides "connected" over dead
+            # transports -- tear our husk down and run a fresh connector
+            # handshake against the new transport instead.
             self.guest.spawn(
-                self.module.send_control(src_mac, ChannelAck(self.guest.domid)),
-                name="xl-ack-resend",
+                self._reconnect_stale(channel, msg, src_mac), name="xl-reconnect"
             )
-            faults.note_recovered(self.guest.sim, "ack_resend")
             return
         self.guest.spawn(channel.ctrl.connector_complete(msg), name="xl-connect")
+
+    def _reconnect_stale(self, channel: "Channel", msg: CreateChannel, src_mac: "MacAddr"):
+        """Replace a dead CONNECTED channel with a fresh connector
+        handshake on the listener's new transport (generator, guest
+        context)."""
+        saved = yield from channel.ctrl.teardown()
+        for data in saved:
+            self.module.resend_via_standard_path(data)
+        faults.note_recovered(self.guest.sim, "stale_reconnect")
+        fresh = self._new_channel(msg.sender_domid, src_mac)
+        yield from fresh.ctrl.connector_complete(msg)
 
     # ------------------------------------------------------------------
     # Bootstrap initiation (first traffic to a mapped peer, Sect. 3.1)
     # ------------------------------------------------------------------
     def initiate_bootstrap(self, mac: "MacAddr", peer_domid: int) -> None:
+        existing = self.channels.get(mac)
+        if existing is not None and existing.state not in (
+            ChannelState.CLOSED,
+            ChannelState.FAILED,
+        ):
+            # A live channel (or handshake in flight) already owns this
+            # MAC -- possibly under a newer guest-ID than the caller's
+            # cached mapping (the peer migrated back mid-burst).  A
+            # second, dueling handshake would clobber the MAC-keyed
+            # table and misroute the first one's ack; identity refresh
+            # tears the old channel down if the mapping really changed.
+            return
         channel = self._new_channel(peer_domid, mac)
         if channel.is_listener:
             self.guest.spawn(channel.ctrl.listener_start(), name="xl-listen")

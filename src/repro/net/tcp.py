@@ -360,7 +360,11 @@ class TcpConnection:
             while self._retx_buf and self.state != CLOSED:
                 wait = self._retx_deadline - sim.now
                 if wait > 0:
-                    yield sim.timeout(wait)
+                    # RTO sleeps live on the timer wheel: same (time, seq)
+                    # an engine Timeout would get, so firing order is
+                    # unchanged, but a serving-scale flood of short-lived
+                    # RTO re-arms stays off the O(log n) heap.
+                    yield sim.wheel.timeout(wait)
                     continue
                 # RTO expired.  In "fixed" mode: classic go-back-N,
                 # resend everything unacked with the original segment

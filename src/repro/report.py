@@ -166,6 +166,26 @@ def format_engine_stats(stats: Mapping[str, float]) -> str:
             f"recovered[{_counts(flt['recovered'])}]  "
             f"degraded[{_counts(flt['degraded'])}]"
         )
+    srv = stats.get("serving")
+    if srv is not None:
+        lines.append(
+            "serving: "
+            f"offered={srv['offered']:,}  completed={srv['completed']:,}  "
+            f"errors={srv['errors']:,}  "
+            f"slo_violations={srv['slo_violations']:,}  "
+            f"deadline_fires={srv['deadline_fires']:,}  "
+            f"reconnects={srv['reconnects']:,}"
+        )
+    tmr = stats.get("timers")
+    if tmr is not None:
+        sched = tmr["scheduled"]
+        cancel_rate = 100.0 * tmr["cancelled"] / sched if sched else 0.0
+        lines.append(
+            "timers: "
+            f"scheduled={sched:,}  fired={tmr['fired']:,}  "
+            f"cancelled={tmr['cancelled']:,} ({cancel_rate:.1f}%)  "
+            f"cascades={tmr['cascades']:,}"
+        )
     pdes = stats.get("pdes")
     if pdes:
         lines.append(

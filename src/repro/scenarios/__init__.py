@@ -35,6 +35,7 @@ from repro.scenarios.congestion import (
     xenloop_incast,
 )
 from repro.scenarios.fault_matrix import fault_matrix, run_fault_matrix
+from repro.scenarios.serving import run_serving_cell, xenloop_serving
 from repro.scenarios.paper import (
     inter_machine,
     migration_pair,
@@ -62,6 +63,7 @@ __all__ = [
     "run_fairness_cell",
     "run_fault_matrix",
     "run_incast_cell",
+    "run_serving_cell",
     "scenario",
     "scenario_names",
     "xenloop",
@@ -70,4 +72,5 @@ __all__ = [
     "xenloop_fairness",
     "xenloop_incast",
     "xenloop_mesh",
+    "xenloop_serving",
 ]

@@ -1,0 +1,173 @@
+"""Open-loop serving scenario: tail latency under churn.
+
+The paper's evaluation is closed-loop (netperf request/response), so it
+reports *service* latency with no queueing.  ``xenloop_serving`` runs
+the open-loop generator from :mod:`repro.workloads.serving` against a
+server guest and reports the latency distribution an outside client
+would see -- including the p99/p999 tail inflation when a migration
+tears the FIFO channel down and traffic falls back to the netfront
+path mid-run.
+
+* ``data_path="fifo"`` loads XenLoop everywhere (requests ride the
+  shared-memory FIFO); ``"netfront"`` forces the split-driver bridge
+  path throughout -- the same A/B axis the congestion scenarios use.
+* ``churn=True`` adds a second Xen machine and a schedule that
+  live-migrates one client guest out and back (FIFO teardown +
+  re-establishment while requests are in flight) and crash/restarts a
+  bystander guest (discovery noise, no traffic of its own).
+
+:func:`run_serving_cell` is the shared driver behind the golden tests,
+``benchmarks/bench_serving.py`` and ``make serving-smoke``.
+"""
+
+from __future__ import annotations
+
+from repro import topology
+from repro.calibration import DEFAULT_COSTS, CostModel
+from repro.scenarios.base import Scenario
+from repro.scenarios.congestion import _cc_costs, _module_for, loss_plan
+from repro.scenarios.registry import scenario
+
+__all__ = ["run_serving_cell", "serving_churn_schedule", "xenloop_serving"]
+
+#: migration model armed for churn runs: the default pre-copy (3 s) is
+#: longer than a golden-scale serving run, so stop-and-copy would never
+#: land inside the measured window.  A short pre-copy + 10 ms downtime
+#: keeps the FIFO-teardown / netfront-fallback / re-establishment cycle
+#: inside the run while staying well above the request SLO.
+_CHURN_MIGRATION_DURATION = 0.030
+_CHURN_MIGRATION_DOWNTIME = 0.010
+
+
+def _churn_costs(costs: CostModel) -> CostModel:
+    """Arm the short migration model unless the caller pinned one."""
+    if costs.migration_duration != DEFAULT_COSTS.migration_duration:
+        return costs
+    return costs.replace(
+        migration_duration=_CHURN_MIGRATION_DURATION,
+        migration_downtime=_CHURN_MIGRATION_DOWNTIME,
+    )
+
+
+def serving_churn_schedule(client: str = "c1") -> tuple:
+    """The churn plan for a serving run (offsets from ``start_churn``):
+    migrate ``client`` to the second machine and back -- its FIFO
+    channels tear down and traffic falls back to netfront until
+    discovery re-establishes them -- and crash/restart the bystander.
+    """
+    return (
+        topology.ChurnAction(at=0.010, action="migrate", guest=client, to_machine="xenhost2"),
+        topology.ChurnAction(at=0.020, action="crash", guest="spare"),
+        topology.ChurnAction(at=0.035, action="restart", guest="spare"),
+        topology.ChurnAction(at=0.040, action="migrate", guest=client, to_machine="xenhost"),
+    )
+
+
+@scenario(
+    description="Open-loop request/response serving; tail latency, optional churn."
+)
+def xenloop_serving(
+    costs: CostModel = DEFAULT_COSTS,
+    seed: int = 0,
+    n_clients: int = 2,
+    data_path: str = "fifo",
+    churn: bool = False,
+) -> Scenario:
+    """One server guest and ``n_clients`` client guests co-resident on
+    one Xen machine.  With ``churn=True`` a second machine hosts a
+    bystander guest and the schedule from
+    :func:`serving_churn_schedule` runs during the workload."""
+    module = _module_for(data_path)
+    guests = [topology.GuestSpec("srv", module=module)]
+    guests += [topology.GuestSpec(f"c{i + 1}", module=module) for i in range(n_clients)]
+    machines = [topology.MachineSpec(name="xenhost", guests=tuple(guests))]
+    schedule: tuple = ()
+    if churn:
+        machines.append(
+            topology.MachineSpec(
+                name="xenhost2",
+                guests=(topology.GuestSpec("spare", module=module),),
+            )
+        )
+        schedule = serving_churn_schedule("c1")
+        costs = _churn_costs(costs)
+    spec = topology.ClusterSpec(
+        name="xenloop_serving",
+        machines=tuple(machines),
+        endpoints=("c1", "srv"),
+        churn=schedule,
+    )
+    return spec.build(_cc_costs(costs), seed=seed)
+
+
+def run_serving_cell(
+    data_path: str = "fifo",
+    requests: int = 2000,
+    rate: float = 20_000.0,
+    arrival: str = "poisson",
+    n_clients: int = 2,
+    conns_per_client: int = 4,
+    slo: float = 0.002,
+    churn: bool = False,
+    loss: float = 0.0,
+    seed: int = 0,
+    costs: CostModel = DEFAULT_COSTS,
+) -> dict:
+    """Build + run one serving cell; returns a flat deterministic dict.
+
+    Percentiles are reported both in microseconds and as histogram
+    bucket indices (``p50_idx``/``p99_idx``) -- the indices are integer
+    and platform-exact, which is what the goldens pin.
+    """
+    from repro import trace
+    from repro.workloads import serving
+
+    scn = xenloop_serving(
+        costs=costs, seed=seed, n_clients=n_clients, data_path=data_path, churn=churn
+    )
+    if loss > 0.0:
+        loss_plan(loss, seed=seed).bind(scn)
+    scn.warmup()
+    scn.start_churn()
+    result = serving.open_loop_rr(
+        scn,
+        server="srv",
+        clients=[f"c{i + 1}" for i in range(n_clients)],
+        requests=requests,
+        rate=rate,
+        arrival=arrival,
+        conns_per_client=conns_per_client,
+        slo=slo,
+    )
+    stats = trace.engine_stats(scn.sim)
+    out = {
+        "scenario": "serving",
+        "data_path": data_path,
+        "arrival": arrival,
+        "requests": requests,
+        "rate": rate,
+        "n_clients": n_clients,
+        "churn": churn,
+        "loss": loss,
+        "events": stats["events"],
+        "offered": result.offered,
+        "completed": result.completed,
+        "errors": result.errors,
+        "duration": round(result.duration, 9),
+        "throughput_rps": round(result.throughput_rps, 3),
+        "p50_us": round(result.p50_us, 3),
+        "p99_us": round(result.p99_us, 3),
+        "p999_us": round(result.p999_us, 3),
+        "p50_idx": result.p50_idx,
+        "p99_idx": result.p99_idx,
+        "slo_violations": result.slo_violations,
+        "deadline_fires": result.deadline_fires,
+        "reconnects": result.reconnects,
+        "timers": stats.get("timers"),
+    }
+    plan = getattr(scn.sim, "fault_plan", None)
+    if plan is not None:
+        from repro.faults import PKT_LOSS
+
+        out["frames_dropped"] = plan.injected.get(PKT_LOSS, 0)
+    return out

@@ -22,16 +22,26 @@ from repro.sim.engine import (
     Timeout,
 )
 from repro.sim.resources import CPUCores, Resource, Store
-from repro.sim.stats import Counter, LatencyProbe, ThroughputProbe, TimeSeries
+from repro.sim.stats import (
+    Counter,
+    Deadline,
+    LatencyProbe,
+    LogHistogram,
+    ThroughputProbe,
+    TimeSeries,
+)
+from repro.sim.timers import TimerWheel, WheelTimeout, WheelTimer
 
 __all__ = [
     "AllOf",
     "AnyOf",
     "CPUCores",
     "Counter",
+    "Deadline",
     "Event",
     "Interrupt",
     "LatencyProbe",
+    "LogHistogram",
     "Process",
     "Resource",
     "SimulationError",
@@ -40,4 +50,7 @@ __all__ = [
     "ThroughputProbe",
     "TimeSeries",
     "Timeout",
+    "TimerWheel",
+    "WheelTimeout",
+    "WheelTimer",
 ]

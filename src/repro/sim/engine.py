@@ -398,6 +398,10 @@ class Simulator:
         self._seq = 0
         self._seed = seed
         self._rng = None
+        #: lazily-created :class:`repro.sim.timers.TimerWheel` -- the
+        #: third calendar source.  None until ``sim.wheel`` is touched;
+        #: the merge loops below pay one predicate per event for it.
+        self._wheel = None
         #: total calendar entries processed (events, timeouts, resumes).
         self._event_count = 0
         #: optional :class:`repro.faults.FaultPlan` consulted by the fault
@@ -414,6 +418,23 @@ class Simulator:
 
             self._rng = make_rng(self._seed)
         return self._rng
+
+    @property
+    def wheel(self):
+        """The simulator's hierarchical timer wheel (lazily created).
+
+        A second delayed-event calendar with O(1) insert and O(1) lazy
+        cancellation (see :mod:`repro.sim.timers`).  Entries consume
+        sequence numbers from the same counter and are merged into the
+        firing order exactly like the heap and the immediate run queue,
+        so moving a timer between ``sim.timeout`` and
+        ``sim.wheel.timeout`` never changes simulation order.
+        """
+        if self._wheel is None:
+            from repro.sim.timers import TimerWheel
+
+            self._wheel = TimerWheel(self)
+        return self._wheel
 
     @property
     def event_count(self) -> int:
@@ -446,7 +467,7 @@ class Simulator:
             for (t, seq, obj) in sorted(self._queue)
         ]
         ready = [[t, seq, type(obj).__name__] for (t, seq, obj) in self._ready]
-        return {
+        state = {
             "now": self.now,
             "seq": self._seq,
             "event_count": self._event_count,
@@ -458,6 +479,11 @@ class Simulator:
             "ready": ready,
             "has_fault_plan": self.fault_plan is not None,
         }
+        # Only simulations actually holding live wheel timers grow the
+        # extra key -- every pre-wheel digest stays bit-identical.
+        if self._wheel is not None and self._wheel._live:
+            state["wheel"] = self._wheel.snapshot_state()
+        return state
 
     # -- event factories ------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -497,20 +523,40 @@ class Simulator:
         ready = self._ready
         queue = self._queue
         if ready:
-            return ready[0][0] if not queue or ready[0] < queue[0] else queue[0][0]
-        return queue[0][0] if queue else _INF
+            t = ready[0][0] if not queue or ready[0] < queue[0] else queue[0][0]
+        elif queue:
+            t = queue[0][0]
+        else:
+            t = _INF
+        wheel = self._wheel
+        if wheel is not None and wheel._live:
+            wt = wheel.head().time
+            if wt < t:
+                return wt
+        return t
 
     def step(self) -> None:
         """Process exactly one event (the globally oldest by (time, seq))."""
         ready = self._ready
         queue = self._queue
+        wheel = self._wheel
+        whead = wheel.head() if (wheel is not None and wheel._live) else None
+        entry = None
         if ready and (not queue or ready[0] < queue[0]):
-            when, _, obj = ready.popleft()
-        else:
-            when, _, obj = heapq.heappop(queue)
-        self.now = when
+            if whead is None or not (whead.key < ready[0]):
+                entry = ready.popleft()
+        elif queue and (whead is None or not (whead.key < queue[0])):
+            entry = heapq.heappop(queue)
+        elif whead is None:
+            heapq.heappop(queue)  # empty calendar: raises IndexError
+        if entry is not None:
+            self.now = entry[0]
+            self._event_count += 1
+            entry[2]._process()
+            return
+        self.now = whead.time
         self._event_count += 1
-        obj._process()
+        wheel.pop_head()._process()
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the calendar empties or ``until`` is reached.
@@ -522,16 +568,32 @@ class Simulator:
         ready = self._ready
         queue = self._queue
         heappop = heapq.heappop
+        wheel = self._wheel
         count = 0
         if until is None:
-            while ready or queue:
+            while True:
+                # The wheel may be created (or gain entries) mid-run, so
+                # the merge re-checks it every iteration; a wheel-less
+                # simulation pays one attribute load and one predicate.
+                if wheel is None:
+                    wheel = self._wheel
+                whead = wheel.head() if (wheel is not None and wheel._live) else None
+                entry = None
                 if ready and (not queue or ready[0] < queue[0]):
-                    when, _, obj = ready.popleft()
-                else:
-                    when, _, obj = heappop(queue)
-                self.now = when
+                    if whead is None or not (whead.key < ready[0]):
+                        entry = ready.popleft()
+                elif queue:
+                    if whead is None or not (whead.key < queue[0]):
+                        entry = heappop(queue)
+                elif whead is None:
+                    break
                 count += 1
-                obj._process()
+                if entry is not None:
+                    self.now = entry[0]
+                    entry[2]._process()
+                else:
+                    self.now = whead.time
+                    wheel.pop_head()._process()
             self._event_count += count
             return
         if until < self.now:
@@ -541,21 +603,36 @@ class Simulator:
         try:
             # Pop-then-restore: popping directly and putting the entry
             # back on the (at most one) break beats peeking every
-            # iteration on the hot path.
-            while ready or queue:
+            # iteration on the hot path.  Wheel entries past ``until``
+            # are simply not taken (the wheel is peek-then-pop).
+            while True:
+                if wheel is None:
+                    wheel = self._wheel
+                whead = wheel.head() if (wheel is not None and wheel._live) else None
+                if whead is not None and whead.time > until:
+                    whead = None
+                entry = None
                 if ready and (not queue or ready[0] < queue[0]):
-                    entry = popleft()
-                    if entry[0] > until:
-                        ready.appendleft(entry)
-                        break
-                else:
-                    entry = heappop(queue)
-                    if entry[0] > until:
-                        heappush(queue, entry)
-                        break
-                self.now = entry[0]
+                    if whead is None or not (whead.key < ready[0]):
+                        entry = popleft()
+                        if entry[0] > until:
+                            ready.appendleft(entry)
+                            break
+                elif queue:
+                    if whead is None or not (whead.key < queue[0]):
+                        entry = heappop(queue)
+                        if entry[0] > until:
+                            heappush(queue, entry)
+                            break
+                elif whead is None:
+                    break
                 count += 1
-                entry[2]._process()
+                if entry is not None:
+                    self.now = entry[0]
+                    entry[2]._process()
+                else:
+                    self.now = whead.time
+                    wheel.pop_head()._process()
         finally:
             self._event_count += count
         self.now = until
@@ -580,24 +657,39 @@ class Simulator:
         heappush = heapq.heappush
         popleft = ready.popleft
         pending = PENDING
+        wheel = self._wheel
         count = 0
         try:
-            while ready or queue:
+            while True:
                 if stop is not None and stop._state != pending:
                     return True
+                if wheel is None:
+                    wheel = self._wheel
+                whead = wheel.head() if (wheel is not None and wheel._live) else None
+                if whead is not None and whead.time > limit:
+                    whead = None
+                entry = None
                 if ready and (not queue or ready[0] < queue[0]):
-                    entry = popleft()
-                    if entry[0] > limit:
-                        ready.appendleft(entry)
-                        break
-                else:
-                    entry = heappop(queue)
-                    if entry[0] > limit:
-                        heappush(queue, entry)
-                        break
-                self.now = entry[0]
+                    if whead is None or not (whead.key < ready[0]):
+                        entry = popleft()
+                        if entry[0] > limit:
+                            ready.appendleft(entry)
+                            break
+                elif queue:
+                    if whead is None or not (whead.key < queue[0]):
+                        entry = heappop(queue)
+                        if entry[0] > limit:
+                            heappush(queue, entry)
+                            break
+                elif whead is None:
+                    break
                 count += 1
-                entry[2]._process()
+                if entry is not None:
+                    self.now = entry[0]
+                    entry[2]._process()
+                else:
+                    self.now = whead.time
+                    wheel.pop_head()._process()
         finally:
             self._event_count += count
         return stop is not None and stop._state != pending
@@ -615,27 +707,41 @@ class Simulator:
         heappop = heapq.heappop
         popleft = ready.popleft
         pending = PENDING
+        wheel = self._wheel
         count = 0
         try:
             # Same pop-then-restore structure as run(): the deadline is
             # exceeded at most once, so the restore branch never runs on
             # the hot path.
             while process._state == pending:
+                if wheel is None:
+                    wheel = self._wheel
+                whead = wheel.head() if (wheel is not None and wheel._live) else None
+                entry = None
                 if ready and (not queue or ready[0] < queue[0]):
-                    entry = popleft()
-                    if entry[0] > deadline:
-                        ready.appendleft(entry)
-                        raise SimulationError(f"timeout waiting for {process.name}")
+                    if whead is None or not (whead.key < ready[0]):
+                        entry = popleft()
+                        if entry[0] > deadline:
+                            ready.appendleft(entry)
+                            raise SimulationError(f"timeout waiting for {process.name}")
                 elif queue:
-                    entry = heappop(queue)
-                    if entry[0] > deadline:
-                        heapq.heappush(queue, entry)
-                        raise SimulationError(f"timeout waiting for {process.name}")
-                else:
+                    if whead is None or not (whead.key < queue[0]):
+                        entry = heappop(queue)
+                        if entry[0] > deadline:
+                            heapq.heappush(queue, entry)
+                            raise SimulationError(f"timeout waiting for {process.name}")
+                elif whead is None:
                     raise SimulationError(f"deadlock: {process.name} never finished")
-                self.now = entry[0]
-                count += 1
-                entry[2]._process()
+                if entry is not None:
+                    self.now = entry[0]
+                    count += 1
+                    entry[2]._process()
+                else:
+                    if whead.time > deadline:
+                        raise SimulationError(f"timeout waiting for {process.name}")
+                    self.now = whead.time
+                    count += 1
+                    wheel.pop_head()._process()
         finally:
             self._event_count += count
         if not process.ok:

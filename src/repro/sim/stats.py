@@ -2,6 +2,23 @@
 
 These are plain accumulators -- they never schedule events -- so probing
 is free of simulation side effects.
+
+Streaming percentiles
+---------------------
+Open-loop serving scenarios record one latency per request at millions
+of requests per run, so percentile machinery has to be O(1) per sample
+with bounded memory.  :class:`LogHistogram` is the HDR-histogram-shaped
+answer: fixed log-spaced buckets (128 sub-buckets per power of two),
+O(1) ``record``, O(buckets) ``percentile``, exact count/mean/min/max,
+and element-wise mergeable across shards and forked reps.  The bucket
+index is a pure function of the value, so goldens can pin *bucket
+indices* (exactly stable across platforms) rather than floats.
+
+:class:`LatencyProbe` keeps its exact per-sample semantics by default
+(existing goldens pin interpolated percentiles) but gains a cached
+sorted view -- ``percentile()`` no longer re-sorts on every call -- and
+an opt-in ``streaming=True`` mode that retains no per-sample list and
+delegates percentiles to a :class:`LogHistogram`.
 """
 
 from __future__ import annotations
@@ -9,7 +26,15 @@ from __future__ import annotations
 import math
 from typing import Iterable, Optional
 
-__all__ = ["Counter", "LatencyProbe", "ThroughputProbe", "TimeSeries", "summarize"]
+__all__ = [
+    "Counter",
+    "Deadline",
+    "LatencyProbe",
+    "LogHistogram",
+    "ThroughputProbe",
+    "TimeSeries",
+    "summarize",
+]
 
 
 class Counter:
@@ -51,27 +76,267 @@ class TimeSeries:
         return iter(zip(self.times, self.values))
 
 
-class LatencyProbe:
-    """Accumulates per-operation latencies (seconds)."""
+#: sub-bucket resolution: 2**7 sub-buckets per power of two.
+_SUB_BITS = 7
+_SUB_COUNT = 1 << _SUB_BITS  # 128
+_SUB_SCALE = float(1 << (_SUB_BITS + 1))  # (m - 0.5) * 256 -> [0, 128)
+#: sentinel bucket for exact zero (frexp(0.0) would collide with the
+#: boundary between the e=0 and e=-1 octaves).
+_ZERO_INDEX = -(1 << 60)
+
+
+class LogHistogram:
+    """Fixed-bucket logarithmic histogram (HDR-style).
+
+    Values are binned by ``math.frexp``: a value ``v = m * 2**e`` with
+    ``m in [0.5, 1)`` lands in sub-bucket ``int((m - 0.5) * 256)`` of
+    octave ``e``, giving 128 log-spaced buckets per power of two.  The
+    bucket index ``(e << 7) + sub`` is monotone in ``v`` (negative
+    exponents included), so percentile lookup is a walk over sorted
+    indices and goldens can pin indices exactly.
+
+    Guarantees:
+
+    * ``record`` is O(1) (one frexp + one dict increment) and retains no
+      per-sample state -- memory is O(distinct buckets), bounded by the
+      dynamic range of the data (128 buckets per decade-ish octave).
+    * bucket width / lower bound <= 1/128, so the bucket *midpoint*
+      returned by :meth:`percentile` is within ``REL_ERROR`` (1/128,
+      under 1%) of any exact sample in the bucket.
+    * count/total/min/max are tracked exactly: ``mean`` is exact, and
+      ``percentile(0)`` / ``percentile(100)`` return the exact min/max.
+    * two histograms merge by element-wise bucket addition
+      (:meth:`merge` is associative and commutative), so shards and
+      forked reps combine without precision loss.
+    """
+
+    #: documented relative-error bound of percentile() vs an exact
+    #: same-rank sorted percentile (bucket half-width / lower bound).
+    REL_ERROR = 1.0 / (1 << _SUB_BITS)  # 1/128, < 1%
+
+    __slots__ = ("name", "buckets", "count", "total", "total_sq", "min", "max")
 
     def __init__(self, name: str = ""):
         self.name = name
-        self.samples: list[float] = []
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    @staticmethod
+    def bucket_index(value: float) -> int:
+        """The bucket index for ``value`` (monotone in value)."""
+        if value == 0.0:
+            return _ZERO_INDEX
+        m, e = math.frexp(value)
+        return (e << _SUB_BITS) + int((m - 0.5) * _SUB_SCALE)
+
+    @staticmethod
+    def bucket_value(index: int) -> float:
+        """Representative (midpoint) value of bucket ``index``."""
+        if index == _ZERO_INDEX:
+            return 0.0
+        e, sub = index >> _SUB_BITS, index & (_SUB_COUNT - 1)
+        # bucket spans [0.5 + sub/256, 0.5 + (sub+1)/256) * 2**e
+        return math.ldexp(0.5 + (sub + 0.5) / _SUB_SCALE, e)
+
+    def record(self, value: float) -> None:
+        """Record one sample; O(1), no per-sample state retained."""
+        if value < 0:
+            raise ValueError(f"negative sample: {value}")
+        idx = self.bucket_index(value)
+        buckets = self.buckets
+        buckets[idx] = buckets.get(idx, 0) + 1
+        self.count += 1
+        self.total += value
+        self.total_sq += value * value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of all recorded samples."""
+        if not self.count:
+            raise ValueError("no samples")
+        return self.total / self.count
+
+    @property
+    def stdev(self) -> float:
+        """Population standard deviation (from exact running moments)."""
+        if not self.count:
+            raise ValueError("no samples")
+        var = self.total_sq / self.count - (self.total / self.count) ** 2
+        return math.sqrt(max(var, 0.0))
+
+    def percentile_index(self, p: float) -> int:
+        """Bucket index holding the p-th percentile (nearest-rank).
+
+        Platform-exact -- this is what goldens pin.
+        """
+        if not self.count:
+            raise ValueError("no samples")
+        if not 0 <= p <= 100:
+            raise ValueError("percentile in [0, 100]")
+        rank = max(1, math.ceil(p / 100.0 * self.count))
+        seen = 0
+        for idx in sorted(self.buckets):
+            seen += self.buckets[idx]
+            if seen >= rank:
+                return idx
+        raise AssertionError("bucket counts inconsistent")  # pragma: no cover
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, within :data:`REL_ERROR` of exact.
+
+        ``p=0`` and ``p=100`` return the exact min/max; interior
+        percentiles return the midpoint of the bucket holding the
+        nearest-rank sample (rank ``ceil(p/100 * n)``).
+        """
+        if not self.count:
+            raise ValueError("no samples")
+        if p <= 0:
+            return self.min
+        if p >= 100:
+            return self.max
+        return self.bucket_value(self.percentile_index(p))
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Fold ``other`` into self (element-wise bucket add); returns self."""
+        buckets = self.buckets
+        for idx, n in other.buckets.items():
+            buckets[idx] = buckets.get(idx, 0) + n
+        self.count += other.count
+        self.total += other.total
+        self.total_sq += other.total_sq
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        return self
+
+    def to_dict(self) -> dict:
+        """JSON-able state (sorted bucket pairs), mergeable via :meth:`from_dict`."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "total_sq": self.total_sq,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+            "buckets": [[idx, self.buckets[idx]] for idx in sorted(self.buckets)],
+        }
+
+    @classmethod
+    def from_dict(cls, state: dict, name: str = "") -> "LogHistogram":
+        hist = cls(name)
+        hist.count = state["count"]
+        hist.total = state["total"]
+        hist.total_sq = state["total_sq"]
+        if hist.count:
+            hist.min = state["min"]
+            hist.max = state["max"]
+        hist.buckets = {int(idx): int(n) for idx, n in state["buckets"]}
+        return hist
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"LogHistogram({self.name}, n={self.count})"
+
+
+class Deadline:
+    """SLO accumulator: counts samples landing over a latency deadline.
+
+    Streaming and mergeable like :class:`LogHistogram` -- O(1) per
+    sample, no per-sample state.  ``record`` returns whether the sample
+    violated the deadline so callers can cross-check against timer-based
+    accounting.
+    """
+
+    __slots__ = ("name", "slo", "count", "violations", "worst")
+
+    def __init__(self, slo: float, name: str = ""):
+        if slo <= 0:
+            raise ValueError(f"SLO deadline must be positive: {slo}")
+        self.name = name
+        self.slo = slo
+        self.count = 0
+        self.violations = 0
+        self.worst = 0.0
+
+    def record(self, latency: float) -> bool:
+        """Record one latency; True when it exceeds the deadline."""
+        self.count += 1
+        if latency > self.worst:
+            self.worst = latency
+        if latency > self.slo:
+            self.violations += 1
+            return True
+        return False
+
+    @property
+    def violation_fraction(self) -> float:
+        """Fraction of samples over the deadline (0.0 when empty)."""
+        return self.violations / self.count if self.count else 0.0
+
+    def merge(self, other: "Deadline") -> "Deadline":
+        """Fold ``other`` (same SLO) into self; returns self."""
+        if other.slo != self.slo:
+            raise ValueError(f"SLO mismatch: {self.slo} vs {other.slo}")
+        self.count += other.count
+        self.violations += other.violations
+        if other.worst > self.worst:
+            self.worst = other.worst
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Deadline({self.name}, slo={self.slo}, {self.violations}/{self.count})"
+
+
+class LatencyProbe:
+    """Accumulates per-operation latencies (seconds).
+
+    Default mode keeps every sample and serves exact interpolated
+    percentiles (cached sorted view, invalidated on ``record``).  With
+    ``streaming=True`` no per-sample list is retained: samples stream
+    into a :class:`LogHistogram` and ``percentile`` serves the
+    histogram's nearest-rank answer (within ``LogHistogram.REL_ERROR``).
+    """
+
+    def __init__(self, name: str = "", streaming: bool = False):
+        self.name = name
+        self.hist: Optional[LogHistogram] = LogHistogram(name) if streaming else None
+        self.samples: Optional[list[float]] = None if streaming else []
+        self._sorted: Optional[list[float]] = None
+
+    @property
+    def streaming(self) -> bool:
+        return self.samples is None
 
     def record(self, latency: float) -> None:
         """Record one latency sample in seconds."""
         if latency < 0:
             raise ValueError(f"negative latency: {latency}")
-        self.samples.append(latency)
+        if self.samples is None:
+            self.hist.record(latency)
+        else:
+            self.samples.append(latency)
+            self._sorted = None
 
     @property
     def count(self) -> int:
         """Number of samples recorded."""
-        return len(self.samples)
+        return self.hist.count if self.samples is None else len(self.samples)
 
     @property
     def mean(self) -> float:
-        """Mean latency in seconds."""
+        """Mean latency in seconds (exact in both modes)."""
+        if self.samples is None:
+            return self.hist.mean
         if not self.samples:
             raise ValueError("no samples")
         return sum(self.samples) / len(self.samples)
@@ -82,12 +347,20 @@ class LatencyProbe:
         return self.mean * 1e6
 
     def percentile(self, p: float) -> float:
-        """Linear-interpolated percentile, ``p`` in [0, 100]."""
-        if not self.samples:
-            raise ValueError("no samples")
+        """Percentile, ``p`` in [0, 100].
+
+        Exact (linear-interpolated) in list mode; histogram nearest-rank
+        in streaming mode.
+        """
         if not 0 <= p <= 100:
             raise ValueError("percentile in [0, 100]")
-        ordered = sorted(self.samples)
+        if self.samples is None:
+            return self.hist.percentile(p)
+        if not self.samples:
+            raise ValueError("no samples")
+        ordered = self._sorted
+        if ordered is None:
+            ordered = self._sorted = sorted(self.samples)
         k = (len(ordered) - 1) * p / 100.0
         lo = math.floor(k)
         hi = math.ceil(k)
@@ -135,8 +408,26 @@ class ThroughputProbe:
         return self.rate() * 8 / 1e6
 
 
-def summarize(samples: Iterable[float]) -> dict[str, float]:
-    """min/mean/max/stdev of an iterable of floats."""
+def summarize(samples) -> dict[str, float]:
+    """min/mean/max/stdev of an iterable of floats.
+
+    Also accepts a :class:`LogHistogram` or a streaming
+    :class:`LatencyProbe`, summarised from their exact running moments
+    (no sample list required).  The iterable path is unchanged --
+    existing goldens that pin its float results stay bit-identical.
+    """
+    if isinstance(samples, LatencyProbe) and samples.streaming:
+        samples = samples.hist
+    if isinstance(samples, LogHistogram):
+        if not samples.count:
+            raise ValueError("no samples")
+        return {
+            "n": samples.count,
+            "min": samples.min,
+            "mean": samples.mean,
+            "max": samples.max,
+            "stdev": samples.stdev,
+        }
     data = list(samples)
     if not data:
         raise ValueError("no samples")

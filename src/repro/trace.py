@@ -120,6 +120,12 @@ def engine_stats(sim, wall_s: Optional[float] = None) -> dict:
     the simulator has XenLoop channels, ``channels`` lists each one's
     per-channel notify / suppression / batched-pop counters in creation
     order.
+
+    A run that used the open-loop serving workload adds a ``serving``
+    sub-dict (offered / completed / errors / SLO counters summed over
+    every :class:`repro.workloads.serving.ServingProbe`); a run whose
+    timer wheel ever scheduled an entry adds ``timers`` (the wheel's
+    scheduled / fired / cancelled / cascade counters).
     """
     from repro.net.packet import WIRE_STATS
     from repro.xen.event_channel import NOTIFY_STATS
@@ -156,6 +162,16 @@ def engine_stats(sim, wall_s: Optional[float] = None) -> dict:
     plan = getattr(sim, "fault_plan", None)
     if plan is not None:
         stats["faults"] = plan.snapshot()
+    probes = getattr(sim, "_serving_probes", None)
+    if probes:
+        serving: dict = {}
+        for probe in probes:
+            for key, value in probe.counters().items():
+                serving[key] = serving.get(key, 0) + value
+        stats["serving"] = serving
+    wheel = getattr(sim, "_wheel", None)
+    if wheel is not None and wheel.scheduled:
+        stats["timers"] = wheel.counters()
     return stats
 
 
@@ -207,6 +223,10 @@ def merge_shard_stats(entries: list, wall_s: Optional[float] = None) -> dict:
     faults = [s["faults"] for s in stats_list if "faults" in s]
     if faults:
         merged["faults"] = _sum_dicts(faults)
+    for key in ("serving", "timers"):
+        subs = [s[key] for s in stats_list if key in s]
+        if subs:
+            merged[key] = _sum_dicts(subs)
     pdes_list = [e["pdes"] for e in entries if e.get("pdes")]
     merged["pdes"] = _sum_dicts(
         [{k: v for k, v in p.items() if k != "shard"} for p in pdes_list]

@@ -46,9 +46,11 @@ class TestBootstrapRaces:
         assert ch_b.state is ChannelState.CONNECTED
         assert ch_a.is_listener != ch_b.is_listener
 
-    def test_duplicate_create_channel_ignored_when_connected(self, xl):
+    def test_duplicate_create_channel_reacked_when_connected(self, xl):
         """A listener retry arriving after the connector already mapped
-        (lost ack) must re-trigger the ack without corrupting state."""
+        (lost ack) must re-trigger the ack without corrupting state.
+        A genuine retry carries the listener's *current* transport, so
+        the port number matches the one the connector is bound to."""
         scn = xl
         sim = scn.sim
         ch_a = first_channel(scn, scn.node_a)
@@ -61,11 +63,41 @@ class TestBootstrapRaces:
             sender_domid=listener.guest.domid,
             gref_out=1,
             gref_in=2,
-            evtchn_port=999,
+            evtchn_port=listener.port.port,
         )
         module._handle_create_channel(msg, listener.guest.mac)
         sim.run(until=sim.now + 0.1)
         assert connector.state is ChannelState.CONNECTED
+        assert connector.port.peer is listener.port  # same transport
+        assert udp_once(scn, b"still-works", port=7602) == b"still-works"
+
+    def test_stale_create_channel_replaces_dead_transport(self, xl):
+        """A create_channel whose port does NOT match the connector's
+        bound transport means the listener rebuilt its side (retries
+        exhausted, old port closed).  Blindly re-acking would leave both
+        ends 'connected' over dead transports and the data path deaf
+        forever -- the connector must tear its husk down and handshake
+        against the new transport instead (the double-migration race in
+        the churn scenarios)."""
+        scn = xl
+        sim = scn.sim
+        ch_a = first_channel(scn, scn.node_a)
+        ch_b = first_channel(scn, scn.node_b)
+        connector = ch_a if not ch_a.is_listener else ch_b
+        module = scn.modules[connector.guest.name]
+        listener = ch_b if not ch_a.is_listener else ch_a
+        msg = CreateChannel(
+            sender_domid=listener.guest.domid,
+            gref_out=1,
+            gref_in=2,
+            evtchn_port=999,  # no such port: a vanished transport
+        )
+        module._handle_create_channel(msg, listener.guest.mac)
+        sim.run(until=sim.now + 0.1)
+        # The stale CONNECTED husk is gone (the fabricated transport
+        # cannot be mapped, so the reconnect fails cleanly) and the next
+        # traffic re-initiates a working handshake from scratch.
+        assert connector is not module.channels.get(listener.guest.mac)
         assert udp_once(scn, b"still-works", port=7602) == b"still-works"
 
     def test_connect_request_to_larger_id_ignored(self, xl_cold):

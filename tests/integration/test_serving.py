@@ -1,0 +1,221 @@
+"""Open-loop serving cells end to end: pinned goldens, same-seed
+bit-identity, and the tail-latency behaviour the scenario exists to
+show (queueing under churn, FIFO vs netfront, SLO accounting).
+
+Every value pinned here was produced by a deterministic run; a diff is
+a real behaviour change (intentional changes re-pin with a comment in
+the commit).  ``make serving-smoke`` runs this file before the bench
+cells.
+"""
+
+import pytest
+
+from repro import scenarios, trace
+from repro.report import format_engine_stats
+from repro.workloads import serving
+
+# Small, CI-sized cells -- the bench uses bigger request counts.
+FIFO_KW = dict(data_path="fifo", requests=600, rate=15_000.0)
+CHURN_KW = dict(data_path="fifo", requests=600, rate=15_000.0, churn=True)
+NETLOSS_KW = dict(data_path="netfront", requests=400, rate=10_000.0, loss=0.01)
+NETFRONT_KW = dict(data_path="netfront", requests=400, rate=10_000.0)
+
+
+@pytest.fixture(scope="module")
+def fifo_cell():
+    return scenarios.run_serving_cell(**FIFO_KW)
+
+
+@pytest.fixture(scope="module")
+def churn_cell():
+    return scenarios.run_serving_cell(**CHURN_KW)
+
+
+@pytest.fixture(scope="module")
+def netloss_cell():
+    return scenarios.run_serving_cell(**NETLOSS_KW)
+
+
+@pytest.fixture(scope="module")
+def netfront_cell():
+    return scenarios.run_serving_cell(**NETFRONT_KW)
+
+
+class TestDeterminism:
+    """Same seed -> bit-identical summary dict.  The arrival process,
+    the wheel-timer deadlines, the churn schedule, and the loss plan's
+    RNG are all seeded."""
+
+    def test_fifo(self, fifo_cell):
+        assert scenarios.run_serving_cell(**FIFO_KW) == fifo_cell
+
+    def test_fifo_with_churn(self, churn_cell):
+        assert scenarios.run_serving_cell(**CHURN_KW) == churn_cell
+
+    def test_netfront_with_loss(self, netloss_cell):
+        assert scenarios.run_serving_cell(**NETLOSS_KW) == netloss_cell
+
+
+class TestCellGoldens:
+    def test_fifo_golden(self, fifo_cell):
+        assert fifo_cell == {
+            "scenario": "serving",
+            "data_path": "fifo",
+            "arrival": "poisson",
+            "requests": 600,
+            "rate": 15000.0,
+            "n_clients": 2,
+            "churn": False,
+            "loss": 0.0,
+            "events": 59991,
+            "offered": 600,
+            "completed": 600,
+            "errors": 0,
+            "duration": 0.040125487,
+            "throughput_rps": 14953.089,
+            "p50_us": 55.909,
+            "p99_us": 163.555,
+            "p999_us": 422.478,
+            "p50_idx": -1686,
+            "p99_idx": -1493,
+            "slo_violations": 0,
+            "deadline_fires": 0,
+            "reconnects": 0,
+            "timers": {
+                "scheduled": 1216,
+                "fired": 600,
+                "cancelled": 600,
+                "cascades": 3,
+                "live": 16,
+            },
+        }
+
+    def test_fifo_churn_golden(self, churn_cell):
+        """The fault-plan variant: a client live-migrates out and back
+        mid-run (FIFO teardown -> netfront fallback -> channel
+        re-establishment) while a bystander crash/restarts.  The p99
+        jumps three orders of magnitude over the quiet cell above and
+        the requests stalled behind the migration blow the 2 ms SLO --
+        every one flagged by its wheel deadline timer as it happened
+        (deadline_fires == slo_violations)."""
+        assert churn_cell == {
+            "scenario": "serving",
+            "data_path": "fifo",
+            "arrival": "poisson",
+            "requests": 600,
+            "rate": 15000.0,
+            "n_clients": 2,
+            "churn": True,
+            "loss": 0.0,
+            "events": 66772,
+            "offered": 600,
+            "completed": 600,
+            "errors": 0,
+            "duration": 0.231062392,
+            "throughput_rps": 2596.701,
+            "p50_us": 55.671,
+            "p99_us": 197753.906,
+            "p999_us": 199707.031,
+            "p50_idx": -1687,
+            "p99_idx": -182,
+            "slo_violations": 78,
+            "deadline_fires": 78,
+            "reconnects": 0,
+            "timers": {
+                "scheduled": 1226,
+                "fired": 696,
+                "cancelled": 522,
+                "cascades": 5,
+                "live": 8,
+            },
+        }
+
+    def test_netfront_loss_golden(self, netloss_cell):
+        """Forced split-driver path with 1% bridge loss: the FIFO cells
+        are structurally exempt from bridge loss; here every request
+        crosses the bridge twice and retransmission delays land in the
+        tail."""
+        assert netloss_cell == {
+            "scenario": "serving",
+            "data_path": "netfront",
+            "arrival": "poisson",
+            "requests": 400,
+            "rate": 10000.0,
+            "n_clients": 2,
+            "churn": False,
+            "loss": 0.01,
+            "events": 65312,
+            "offered": 400,
+            "completed": 400,
+            "errors": 0,
+            "duration": 0.615966595,
+            "throughput_rps": 649.386,
+            "p50_us": 390.053,
+            "p99_us": 576171.875,
+            "p999_us": 576171.875,
+            "p50_idx": -1332,
+            "p99_idx": 19,
+            "slo_violations": 172,
+            "deadline_fires": 172,
+            "reconnects": 0,
+            "timers": {
+                "scheduled": 852,
+                "fired": 614,
+                "cancelled": 228,
+                "cascades": 9,
+                "live": 10,
+            },
+            "frames_dropped": 21,
+        }
+
+
+class TestServingBehavior:
+    """The shapes the scenario exists to show, asserted as inequalities
+    so they survive re-pinning."""
+
+    def test_fifo_beats_netfront_latency(self, fifo_cell, netfront_cell):
+        # The paper's story at the median and in the tail: the
+        # shared-memory FIFO skips Dom0 and the bridge both ways.
+        assert fifo_cell["p50_us"] < netfront_cell["p50_us"] / 3
+        assert fifo_cell["p99_us"] < netfront_cell["p99_us"]
+
+    def test_churn_inflates_tail_not_median(self, fifo_cell, churn_cell):
+        # The migration stall lives in the tail; the median request
+        # never sees it.
+        assert churn_cell["p99_us"] > 100 * fifo_cell["p99_us"]
+        assert churn_cell["p50_us"] == pytest.approx(fifo_cell["p50_us"], rel=0.05)
+        assert churn_cell["slo_violations"] > 0
+        assert fifo_cell["slo_violations"] == 0
+
+    def test_deadline_fires_match_violations_when_error_free(
+        self, fifo_cell, churn_cell, netloss_cell
+    ):
+        # Two independent accountings of the same SLO: the wheel timer
+        # that fires at t_arrival+slo while the request is in flight,
+        # and the Deadline accumulator fed on completion.  With zero
+        # errors every armed deadline resolves one way or the other.
+        for cell in (fifo_cell, churn_cell, netloss_cell):
+            assert cell["errors"] == 0
+            assert cell["deadline_fires"] == cell["slo_violations"]
+
+    def test_all_cells_complete_every_request(
+        self, fifo_cell, churn_cell, netloss_cell
+    ):
+        for cell in (fifo_cell, churn_cell, netloss_cell):
+            assert cell["completed"] == cell["offered"] == cell["requests"]
+
+
+class TestStatsPlumbing:
+    """engine_stats / report integration on a live simulator."""
+
+    def test_engine_stats_and_report_lines(self):
+        scn = scenarios.xenloop_serving()
+        scn.warmup()
+        serving.open_loop_rr(scn, server="srv", clients=["c1", "c2"], requests=200)
+        stats = trace.engine_stats(scn.sim)
+        assert stats["serving"]["offered"] == 200
+        assert stats["serving"]["completed"] == 200
+        assert stats["timers"]["scheduled"] > 0
+        rendered = format_engine_stats(stats)
+        assert "serving: offered=200" in rendered
+        assert "timers: scheduled=" in rendered

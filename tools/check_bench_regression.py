@@ -60,6 +60,8 @@ def _group_label(key: tuple) -> str:
         return f"[cluster-scale {n_guests}-guest/{machines}-machine]"
     if kind == "congestion":
         return f"[congestion {cell}{' smoke' if smoke else ''}]"
+    if kind == "serving":
+        return f"[serving {cell}{' smoke' if smoke else ''}]"
     mode = "classic" if shards == 0 else f"{shards}-shard/{machines}-machine"
     suffix = " +warm-start" if warm_start else ""
     return f"[{mode} {data_path}{suffix}]"

@@ -128,6 +128,73 @@ def shard_breakdown(entries: list) -> str:
     return "\n".join(lines)
 
 
+#: (bucket, filename substring): where a serving run's tottime lands --
+#: the arrival generator + workers, the timer wheel, the network stack,
+#: and the engine's calendar loop.
+_SERVING_BUCKETS = (
+    ("workload", "workloads/serving.py"),
+    ("timer-wheel", "sim/timers.py"),
+    ("net-stack", "/net/"),
+    ("engine", "sim/engine.py"),
+)
+
+
+def serving_breakdown(ps: pstats.Stats, wall: float) -> str:
+    """Aggregate profiled tottime into the serving-path buckets."""
+    totals = {name: 0.0 for name, _ in _SERVING_BUCKETS}
+    for (filename, _lineno, _funcname), (_cc, _nc, tottime, _ct, _callers) in ps.stats.items():
+        for bucket, file_part in _SERVING_BUCKETS:
+            if file_part in filename:
+                totals[bucket] += tottime
+                break
+    lines = ["serving cost breakdown:"]
+    for bucket, total in totals.items():
+        share = 100.0 * total / wall if wall else 0.0
+        lines.append(f"  {bucket:>11}: {total * 1e3:8.1f} ms  ({share:4.1f}% of wall)")
+    return "\n".join(lines)
+
+
+def profile_serving(args) -> None:
+    """The open-loop serving variant: profile one ``xenloop_serving``
+    cell and attribute the wall to workload / timer wheel / stack /
+    engine -- the view that shows the wheel and the streaming histogram
+    staying out of the way at high request rates."""
+    from repro import report
+    from repro.scenarios import run_serving_cell
+
+    WIRE_STATS.reset()
+    NOTIFY_STATS.reset()
+    profiler = cProfile.Profile()
+    t0 = time.perf_counter()
+    profiler.enable()
+    summary = run_serving_cell(
+        data_path=args.scenario if args.scenario in ("fifo", "netfront") else "fifo",
+        requests=args.requests,
+        rate=args.rate,
+    )
+    profiler.disable()
+    wall = time.perf_counter() - t0
+
+    print(
+        f"xenloop_serving data_path={summary['data_path']} "
+        f"requests={summary['requests']:,} rate={summary['rate']:,.0f}/s: "
+        f"p50={summary['p50_us']:.1f}us  p99={summary['p99_us']:.1f}us  "
+        f"p999={summary['p999_us']:.1f}us  slo_viol={summary['slo_violations']}"
+    )
+    print(
+        f"{summary['events']:,} events in {wall:.2f}s wall "
+        f"= {summary['events'] / wall if wall else 0.0:,.0f} events/s\n"
+    )
+    ps = pstats.Stats(profiler)
+    ps.sort_stats(args.sort).print_stats(args.limit)
+    print(serving_breakdown(ps, wall))
+    if summary.get("timers"):
+        print("\n" + report.format_engine_stats({"events": summary["events"], "timers": summary["timers"]}).splitlines()[-1])
+    if args.output:
+        ps.dump_stats(args.output)
+        print(f"raw profile written to {args.output}")
+
+
 def profile_sharded(args) -> None:
     """The sharded variant: run the PDES scaling grid and print the
     per-shard breakdown.  cProfile does not cross fork(), so the
@@ -179,8 +246,24 @@ def main() -> None:
         "--machines", type=int, default=2,
         help="machine count for the sharded grid (default: 2)",
     )
+    parser.add_argument(
+        "--serving", action="store_true",
+        help="profile an open-loop xenloop_serving cell instead of the "
+        "udp_stream workload (use --scenario fifo|netfront, --requests, --rate)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=5000,
+        help="request count for --serving (default: 5000)",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=20000.0,
+        help="offered load in req/s for --serving (default: 20000)",
+    )
     args = parser.parse_args()
 
+    if args.serving:
+        profile_serving(args)
+        return
     if args.shards > 0:
         profile_sharded(args)
         return
